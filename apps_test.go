@@ -1,0 +1,108 @@
+package mndmst
+
+import "testing"
+
+func TestPublicBFS(t *testing.T) {
+	g := GenerateRoadNetwork(400, 9)
+	res, err := BFS(g, Options{Nodes: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[0] != 0 {
+		t.Fatalf("dist[source]=%d", res.Dist[0])
+	}
+	if res.Levels < 2 || res.SimSeconds <= 0 {
+		t.Fatalf("levels=%d sim=%f", res.Levels, res.SimSeconds)
+	}
+	// Distances respect edges: endpoints differ by at most 1.
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
+		du, dv := res.Dist[e.U], res.Dist[e.V]
+		if du < 0 || dv < 0 {
+			t.Fatalf("road network should be connected: %d/%d unreached", e.U, e.V)
+		}
+		diff := du - dv
+		if diff < -1 || diff > 1 {
+			t.Fatalf("edge %d-%d distance gap %d", e.U, e.V, diff)
+		}
+	}
+	if _, err := BFS(g, Options{Nodes: 2}, 9999); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestPublicConnectedComponents(t *testing.T) {
+	g, err := NewGraph(6, []Edge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 2, V: 3, Weight: 2},
+		{U: 3, V: 4, Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindConnectedComponents(g, Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 3 {
+		t.Fatalf("components=%d", res.Components)
+	}
+	want := []int32{0, 0, 2, 2, 2, 5}
+	for v, l := range res.Label {
+		if l != want[v] {
+			t.Fatalf("label[%d]=%d want %d", v, l, want[v])
+		}
+	}
+}
+
+func TestPublicSSSP(t *testing.T) {
+	g := GenerateRoadNetwork(400, 21)
+	res, err := SSSP(g, Options{Nodes: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[0] != 0 || res.Rounds < 1 {
+		t.Fatalf("res=%+v", res)
+	}
+	// Triangle inequality along edges.
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
+		du, dv := res.Dist[e.U], res.Dist[e.V]
+		if du == UnreachableDist || dv == UnreachableDist {
+			t.Fatalf("road network should be connected")
+		}
+	}
+}
+
+func TestPublicPageRank(t *testing.T) {
+	g := GenerateWebGraph(1024, 8192, 0.8, 23)
+	res, err := PageRank(g, Options{Nodes: 4}, 0.85, 1e-8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranks) != g.NumVertices() || res.Iterations < 2 {
+		t.Fatalf("ranks=%d iters=%d", len(res.Ranks), res.Iterations)
+	}
+	for v, r := range res.Ranks {
+		if r <= 0 || r >= 1 {
+			t.Fatalf("rank[%d]=%g", v, r)
+		}
+	}
+}
+
+func TestPublicColoring(t *testing.T) {
+	g := GenerateWebGraph(1024, 8192, 0.8, 31)
+	res, err := Coloring(g, Options{Nodes: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors < 2 || res.Rounds < 1 {
+		t.Fatalf("res=%+v", res)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(i)
+		if e.U != e.V && res.Color[e.U] == res.Color[e.V] {
+			t.Fatalf("improper coloring on edge %d-%d", e.U, e.V)
+		}
+	}
+}

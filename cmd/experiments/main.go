@@ -1,0 +1,121 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the design ablations, printing the results as
+// aligned text tables (or JSON with -json). The output of a full-scale run
+// is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # all tables and figures at full scale
+//	experiments -scale 0.1      # quick pass
+//	experiments -only Table3    # a single experiment
+//	experiments -ablations      # the design ablations as well
+//	experiments -verify         # cross-check every forest against Kruskal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mndmst/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var experimentOrder = []string{
+	"Table2", "Table3", "Table4",
+	"Figure4", "Figure5", "Figure6", "Figure7", "Figure8",
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		scale     = fs.Float64("scale", 1.0, "workload scale (1.0 = reproduction size)")
+		only      = fs.String("only", "", "run a single experiment: Table2..4, Figure4..8, MultiGPU")
+		ablations = fs.Bool("ablations", false, "also run the design ablations")
+		verify    = fs.Bool("verify", false, "cross-check every forest against sequential Kruskal")
+		asJSON    = fs.Bool("json", false, "emit tables as JSON instead of text")
+		asMD      = fs.Bool("markdown", false, "emit tables as GitHub markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := bench.Opts{Scale: *scale, Verify: *verify}
+	exps := map[string]func(bench.Opts) (*bench.Table, error){
+		"Table2": bench.Table2, "Table3": bench.Table3, "Table4": bench.Table4,
+		"Figure4": bench.Figure4, "Figure5": bench.Figure5, "Figure6": bench.Figure6,
+		"Figure7": bench.Figure7, "Figure8": bench.Figure8,
+		"MultiGPU": bench.ExtensionMultiGPU, "Heterogeneous": bench.ExtensionHeterogeneous,
+		"Applications": bench.ExtensionApplications, "WeakScaling": bench.ExtensionWeakScaling,
+	}
+
+	emit := func(name string, fn func(bench.Opts) (*bench.Table, error)) error {
+		start := time.Now()
+		t, err := fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *asJSON {
+			b, err := t.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(out, string(b))
+			return nil
+		}
+		if *asMD {
+			fmt.Fprintln(out, t.Markdown())
+			return nil
+		}
+		fmt.Fprintln(out, t.String())
+		fmt.Fprintf(out, "(%s took %v)\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out, strings.Repeat("=", 80))
+		return nil
+	}
+
+	if *only != "" {
+		fn, ok := exps[*only]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		return emit(*only, fn)
+	}
+
+	for _, name := range experimentOrder {
+		if err := emit(name, exps[name]); err != nil {
+			return err
+		}
+	}
+	if *ablations {
+		start := time.Now()
+		tabs, err := bench.Ablations(opts)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		for _, t := range tabs {
+			if *asJSON {
+				b, err := t.JSON()
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(out, string(b))
+			} else {
+				fmt.Fprintln(out, t.String())
+			}
+		}
+		if !*asJSON {
+			fmt.Fprintf(out, "(ablations took %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

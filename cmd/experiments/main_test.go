@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsSingle(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "Table2", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "road_usa") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestExperimentsJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "Table2", "-scale", "0.05", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"title"`) {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestExperimentsMultiGPU(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "MultiGPU", "-scale", "0.03"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "GPUs/node") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestExperimentsUnknown(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "Table99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

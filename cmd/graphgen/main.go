@@ -1,0 +1,89 @@
+// Command graphgen generates the synthetic workload graphs used by the
+// reproduction and writes them in the binary container format (or the
+// SNAP-style text format) that cmd/mndmst reads.
+//
+// Usage:
+//
+//	graphgen -profile uk-2007 -scale 1.0 -out uk-2007.mnd
+//	graphgen -kind web -n 100000 -m 3000000 -locality 0.85 -out web.mnd
+//	graphgen -kind road -n 24000 -out road.mnd
+//	graphgen -kind ba -n 10000 -m 4 -out ba.mnd -format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mndmst"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		profile  = fs.String("profile", "", "generate a paper workload profile (road_usa, ...)")
+		scale    = fs.Float64("scale", 1.0, "profile scale")
+		kind     = fs.String("kind", "web", "custom generator: web | road | rmat | ba | ws")
+		n        = fs.Int("n", 10000, "vertices (custom generators)")
+		m        = fs.Int("m", 100000, "edges (web/rmat), edges-per-vertex (ba), neighbours (ws)")
+		locality = fs.Float64("locality", 0.85, "fraction of short-range edges (web)")
+		beta     = fs.Float64("beta", 0.1, "rewiring probability (ws)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		outPath  = fs.String("out", "graph.mnd", "output file")
+		format   = fs.String("format", "binary", "output format: binary | text")
+		stats    = fs.Bool("stats", true, "print Table 2 statistics of the generated graph")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *mndmst.Graph
+	var err error
+	switch {
+	case *profile != "":
+		g, err = mndmst.GenerateProfile(*profile, *scale)
+	case *kind == "road":
+		g = mndmst.GenerateRoadNetwork(*n, *seed)
+	case *kind == "rmat":
+		g = mndmst.GenerateRMAT(int32(*n), *m, *seed)
+	case *kind == "web":
+		g = mndmst.GenerateWebGraph(int32(*n), *m, *locality, *seed)
+	case *kind == "ba":
+		g = mndmst.GenerateBarabasiAlbert(int32(*n), *m, *seed)
+	case *kind == "ws":
+		g = mndmst.GenerateWattsStrogatz(int32(*n), *m, *beta, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "binary":
+		err = mndmst.SaveGraph(*outPath, g)
+	case "text":
+		err = mndmst.SaveTextGraph(*outPath, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d vertices, %d edges\n", *outPath, g.NumVertices(), g.NumEdges())
+	if *stats {
+		st := g.ComputeStats()
+		fmt.Fprintf(out, "avg degree %.2f  max degree %d  approx diameter %d  components %d\n",
+			st.AvgDegree, st.MaxDegree, st.ApproxDiam, st.Components)
+	}
+	return nil
+}

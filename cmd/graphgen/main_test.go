@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range [][]string{
+		{"-profile", "road_usa", "-scale", "0.05"},
+		{"-kind", "web", "-n", "500", "-m", "2000"},
+		{"-kind", "road", "-n", "400"},
+		{"-kind", "rmat", "-n", "256", "-m", "1024"},
+		{"-kind", "ba", "-n", "500", "-m", "3"},
+		{"-kind", "ws", "-n", "500", "-m", "4", "-beta", "0.2"},
+	} {
+		out := filepath.Join(dir, strings.Join(tc, "_")+".mnd")
+		var buf strings.Builder
+		if err := run(append(tc, "-out", out), &buf); err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		if !strings.Contains(buf.String(), "wrote") || !strings.Contains(buf.String(), "avg degree") {
+			t.Fatalf("%v: output %q", tc, buf.String())
+		}
+		if _, err := os.Stat(out); err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+	}
+}
+
+func TestGenerateTextFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	var buf strings.Builder
+	if err := run([]string{"-kind", "web", "-n", "100", "-m", "300", "-format", "text", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# mndmst edge list") {
+		t.Fatalf("text header: %q", string(data[:40]))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-kind", "torus"}, &buf); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &buf); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-profile", "nope"}, &buf); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/g.mnd", "-kind", "road", "-n", "50"}, &buf); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Command mndmst runs the MND-MST algorithm (or the Pregel+-style BSP
+// baseline) on a graph — loaded from a file written by cmd/graphgen, a
+// SNAP-style text edge list, or generated on the fly from one of the
+// paper's workload profiles — and prints the forest summary with the
+// simulated execution metrics.
+//
+// Usage:
+//
+//	mndmst -profile uk-2007 -scale 0.5 -nodes 16
+//	mndmst -input graph.mnd -nodes 8 -machine cray -gpu
+//	mndmst -text edges.txt -nodes 4 -verify
+//	mndmst -profile arabic-2005 -nodes 16 -system bsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mndmst"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mndmst:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mndmst", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		input    = fs.String("input", "", "binary graph file written by graphgen (overrides -profile)")
+		text     = fs.String("text", "", "SNAP-style text edge list (overrides -profile)")
+		profile  = fs.String("profile", "arabic-2005", "workload profile (see -list)")
+		scale    = fs.Float64("scale", 1.0, "profile scale (1.0 = reproduction size)")
+		seed     = fs.Int64("seed", 1, "weight seed for text inputs without weights")
+		nodes    = fs.Int("nodes", 4, "simulated cluster nodes")
+		machine  = fs.String("machine", "amd", "platform model: amd | cray")
+		useGPU   = fs.Bool("gpu", false, "enable the per-node CPU+GPU split (cray only)")
+		gpus     = fs.Int("gpus", 1, "accelerators per node when -gpu is set")
+		system   = fs.String("system", "mnd", "algorithm: mnd | bsp | seq")
+		app      = fs.String("app", "", "run a graph application instead of MST: bfs | sssp | pagerank | coloring | cc")
+		source   = fs.Int("source", 0, "source vertex for bfs/sssp")
+		group    = fs.Int("group", 4, "hierarchical merging group size")
+		verify   = fs.Bool("verify", false, "cross-check the forest against sequential Kruskal")
+		list     = fs.Bool("list", false, "list available profiles and exit")
+		traceOut = fs.String("trace", "", "write per-rank JSONL trace to this file")
+		rankProf = fs.Bool("rankprofile", false, "print the per-rank profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range mndmst.ProfileNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
+	var g *mndmst.Graph
+	var err error
+	switch {
+	case *input != "":
+		g, err = mndmst.LoadGraph(*input)
+	case *text != "":
+		g, err = mndmst.LoadTextGraph(*text, *seed)
+	default:
+		g, err = mndmst.GenerateProfile(*profile, *scale)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	opts := mndmst.Options{
+		Nodes:       *nodes,
+		UseGPU:      *useGPU,
+		GPUsPerNode: *gpus,
+		GroupSize:   *group,
+	}
+	switch *machine {
+	case "cray":
+		opts.Machine = mndmst.CrayXC40
+	case "amd":
+		opts.Machine = mndmst.AMDCluster
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	if *app != "" {
+		return runApp(out, g, opts, *app, int32(*source))
+	}
+
+	var res *mndmst.Result
+	switch *system {
+	case "mnd":
+		res, err = mndmst.FindMSF(g, opts)
+	case "bsp":
+		res, err = mndmst.FindMSFBSP(g, opts)
+	case "seq":
+		res = mndmst.FindMSFSequential(g)
+	default:
+		err = fmt.Errorf("unknown system %q", *system)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "forest: %d edges, %d components, total weight %d\n",
+		len(res.EdgeIDs), res.Components, res.TotalWeight)
+	if *system != "seq" {
+		fmt.Fprintf(out, "simulated: exec %.4fs  compute %.4fs  comm %.4fs  (%d msgs, %d bytes)\n",
+			res.SimSeconds, res.ComputeSeconds, res.CommSeconds, res.MessagesSent, res.BytesSent)
+		for _, ph := range res.Phases {
+			fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs\n", ph.Phase, ph.Compute, ph.Comm)
+		}
+	}
+	if res.Trace != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := res.Trace.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+		}
+		if *rankProf {
+			fmt.Fprint(out, res.Trace.Profile())
+		}
+	}
+	if *verify {
+		if err := mndmst.Verify(g, res); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Fprintln(out, "verified: exact minimum spanning forest")
+	}
+	return nil
+}
+
+// runApp executes one of the non-MST graph applications.
+func runApp(out io.Writer, g *mndmst.Graph, opts mndmst.Options, app string, source int32) error {
+	switch app {
+	case "bfs":
+		res, err := mndmst.BFS(g, opts, source)
+		if err != nil {
+			return err
+		}
+		reached := 0
+		for _, d := range res.Dist {
+			if d >= 0 {
+				reached++
+			}
+		}
+		fmt.Fprintf(out, "bfs: reached %d/%d vertices in %d levels; simulated %.4fs (comm %.4fs)\n",
+			reached, g.NumVertices(), res.Levels, res.SimSeconds, res.CommSeconds)
+	case "sssp":
+		res, err := mndmst.SSSP(g, opts, source)
+		if err != nil {
+			return err
+		}
+		reached := 0
+		for _, d := range res.Dist {
+			if d != mndmst.UnreachableDist {
+				reached++
+			}
+		}
+		fmt.Fprintf(out, "sssp: reached %d/%d vertices in %d rounds; simulated %.4fs (comm %.4fs)\n",
+			reached, g.NumVertices(), res.Rounds, res.SimSeconds, res.CommSeconds)
+	case "pagerank":
+		res, err := mndmst.PageRank(g, opts, 0.85, 1e-8, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pagerank: converged in %d iterations; simulated %.4fs (comm %.4fs)\n",
+			res.Iterations, res.SimSeconds, res.CommSeconds)
+	case "coloring":
+		res, err := mndmst.Coloring(g, opts, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "coloring: %d colors in %d rounds; simulated %.4fs (comm %.4fs)\n",
+			res.Colors, res.Rounds, res.SimSeconds, res.CommSeconds)
+	case "cc":
+		res, err := mndmst.FindConnectedComponents(g, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "connected components: %d; simulated %.4fs (comm %.4fs)\n",
+			res.Components, res.SimSeconds, res.CommSeconds)
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "uk-2007") {
+		t.Fatalf("list output: %q", out.String())
+	}
+}
+
+func TestRunProfileVerify(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-profile", "road_usa", "-scale", "0.05", "-nodes", "3", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"graph:", "forest:", "simulated:", "verified: exact"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBSPAndSeq(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-profile", "road_usa", "-scale", "0.03", "-system", "bsp", "-nodes", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", "road_usa", "-scale", "0.03", "-system", "seq"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTextInputAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(text, []byte("0 1 4\n1 2 2\n2 0 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := filepath.Join(dir, "t.jsonl")
+	var out strings.Builder
+	err := run([]string{"-text", text, "-nodes", "2", "-trace", traceFile, "-rankprofile", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "load balance") {
+		t.Fatal("rank profile missing")
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil || !strings.Contains(string(data), `"kind":"rank"`) {
+		t.Fatalf("trace file: %v %q", err, data)
+	}
+}
+
+func TestRunGPUCray(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-profile", "arabic-2005", "-scale", "0.05", "-machine", "cray", "-gpu", "-gpus", "2", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-machine", "vax"}, &out); err == nil {
+		t.Fatal("bad machine accepted")
+	}
+	if err := run([]string{"-system", "magic"}, &out); err == nil {
+		t.Fatal("bad system accepted")
+	}
+	if err := run([]string{"-profile", "nope"}, &out); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+	if err := run([]string{"-input", filepath.Join(t.TempDir(), "missing")}, &out); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunApps(t *testing.T) {
+	for _, app := range []string{"bfs", "sssp", "pagerank", "coloring", "cc"} {
+		var out strings.Builder
+		err := run([]string{"-profile", "road_usa", "-scale", "0.03", "-nodes", "3", "-app", app}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if !strings.Contains(out.String(), "simulated") {
+			t.Fatalf("%s: output %q", app, out.String())
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-app", "magic"}, &out); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateProfile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-profile", "road_usa", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "all implementations agree") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if strings.Count(out.String(), "ok:") != 9 {
+		t.Fatalf("expected 9 configurations, output:\n%s", out.String())
+	}
+}
+
+func TestValidateTextInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 3\n3 0\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-text", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run([]string{"-profile", "nope"}, &out); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}

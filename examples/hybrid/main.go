@@ -1,0 +1,40 @@
+// Hybrid CPU+GPU scenario: reproduce Figure 8 on one graph — the per-node
+// CPU/GPU split on the Cray XC40 model, including the runtime's
+// performance-ratio estimation and the shrinking GPU benefit as per-node
+// work decreases with scale-out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mndmst"
+)
+
+func main() {
+	g, err := mndmst.GenerateProfile("sk-2005", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sk-2005 analogue: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	fmt.Println("nodes  CPU-only(s)  CPU+GPU(s)  GPU benefit")
+	for _, nodes := range []int{1, 4, 8, 16} {
+		cpu, err := mndmst.FindMSF(g, mndmst.Options{Nodes: nodes, Machine: mndmst.CrayXC40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpu, err := mndmst.FindMSF(g, mndmst.Options{Nodes: nodes, Machine: mndmst.CrayXC40, UseGPU: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cpu.TotalWeight != gpu.TotalWeight {
+			log.Fatal("CPU-only and hybrid runs disagree")
+		}
+		benefit := 100 * (cpu.SimSeconds - gpu.SimSeconds) / cpu.SimSeconds
+		fmt.Printf("%5d  %11.4f  %10.4f  %10.1f%%\n", nodes, cpu.SimSeconds, gpu.SimSeconds, benefit)
+	}
+	fmt.Println("\nThe GPU is sized by the HyPar runtime's sampled performance-ratio")
+	fmt.Println("estimation (§4.3.1); its benefit fades as per-node indComp work")
+	fmt.Println("shrinks with more nodes — the paper reports up to 23%, average 9%.")
+}

@@ -1,0 +1,3 @@
+module mndmst
+
+go 1.22

@@ -1,0 +1,61 @@
+package boruvka
+
+import (
+	"testing"
+
+	"mndmst/internal/gen"
+	"mndmst/internal/graph"
+	"mndmst/internal/wire"
+)
+
+func benchLocal(b *testing.B, el *graph.EdgeList) *Local {
+	b.Helper()
+	ids := make([]int32, el.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	edges := make([]wire.WEdge, len(el.Edges))
+	for i, e := range el.Edges {
+		edges[i] = wire.WEdge{U: e.U, V: e.V, W: e.W, ID: e.ID}
+	}
+	l, err := NewLocal(ids, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkKernelWebGraph(b *testing.B) {
+	el := gen.WebGraph(1<<15, 1<<19, 0.85, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := benchLocal(b, el)
+		b.StartTimer()
+		Run(l, DefaultOptions())
+	}
+	b.SetBytes(int64(len(el.Edges)) * 20)
+}
+
+func BenchmarkKernelRoadNetwork(b *testing.B) {
+	el := gen.RoadNetwork(1<<15, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := benchLocal(b, el)
+		b.StartTimer()
+		Run(l, DefaultOptions())
+	}
+}
+
+func BenchmarkKernelTopologyDriven(b *testing.B) {
+	el := gen.WebGraph(1<<14, 1<<18, 0.85, 7)
+	opt := Options{Excpt: ExcptBorderVertex, DataDriven: false}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := benchLocal(b, el)
+		b.StartTimer()
+		Run(l, opt)
+	}
+}

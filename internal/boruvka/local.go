@@ -1,0 +1,124 @@
+// Package boruvka implements the device-level parallel Boruvka kernel of
+// §3.2/§3.5: a data-driven, worklist-based minimum-spanning-forest kernel
+// that runs on one device's partition and honours the exception conditions
+// of the HyPar API — a component whose lightest outgoing edge leaves the
+// partition (a cut edge) is not expanded, so independent per-device
+// computations never contract an edge that could be beaten by a remote one.
+//
+// The kernel operates on a Local view: a set of globally-named vertices
+// plus edges whose endpoints may be local or external (ghost). It is used
+// both for the initial partition (vertices = owned graph vertices) and for
+// every later merge stage (vertices = component representatives).
+package boruvka
+
+import (
+	"fmt"
+	"sort"
+
+	"mndmst/internal/wire"
+)
+
+// Local is one device's view of its partition: the global ids of the local
+// vertices and the edge list with global endpoint names. Endpoints absent
+// from IDs are external (ghost) vertices.
+type Local struct {
+	IDs   []int32         // sorted ascending, unique
+	Index map[int32]int32 // global id → local index
+	Edges []wire.WEdge
+
+	// CSR over local indices; arcs exist only from local endpoints.
+	off  []int64
+	dst  []int32 // local index of head, or -1 if external
+	eidx []int32 // index into Edges
+	w    []uint64
+}
+
+// NewLocal builds a Local view. IDs must be unique; they are sorted
+// in place. Every edge must have at least one local endpoint.
+func NewLocal(ids []int32, edges []wire.WEdge) (*Local, error) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	l := &Local{IDs: ids, Edges: edges, Index: make(map[int32]int32, len(ids))}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] == id {
+			return nil, fmt.Errorf("boruvka: duplicate local id %d", id)
+		}
+		l.Index[id] = int32(i)
+	}
+	n := len(ids)
+	counts := make([]int64, n+1)
+	for i := range edges {
+		e := &edges[i]
+		lu, okU := l.Index[e.U]
+		lv, okV := l.Index[e.V]
+		if !okU && !okV {
+			return nil, fmt.Errorf("boruvka: edge %d (%d-%d) has no local endpoint", i, e.U, e.V)
+		}
+		if okU {
+			counts[lu+1]++
+		}
+		if okV && e.U != e.V { // self-loop on a local vertex: one arc only
+			counts[lv+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	total := counts[n]
+	l.off = counts
+	l.dst = make([]int32, total)
+	l.eidx = make([]int32, total)
+	l.w = make([]uint64, total)
+	cursor := make([]int64, n)
+	put := func(tail int32, head int32, headLocal bool, i int) {
+		a := l.off[tail] + cursor[tail]
+		cursor[tail]++
+		if headLocal {
+			l.dst[a] = l.Index[head]
+		} else {
+			l.dst[a] = -1
+		}
+		l.eidx[a] = int32(i)
+		l.w[a] = l.Edges[i].W
+	}
+	for i := range edges {
+		e := &edges[i]
+		lu, okU := l.Index[e.U]
+		lv, okV := l.Index[e.V]
+		if okU {
+			put(lu, e.V, okV, i)
+		}
+		if okV && e.U != e.V {
+			put(lv, e.U, okU, i)
+		}
+	}
+	return l, nil
+}
+
+// N reports the number of local vertices.
+func (l *Local) N() int { return len(l.IDs) }
+
+// NumArcs reports the number of local arcs.
+func (l *Local) NumArcs() int64 { return int64(len(l.dst)) }
+
+// degreeSkew returns max/avg local degree (1 for empty or regular views).
+func (l *Local) degreeSkew() float64 {
+	n := l.N()
+	if n == 0 || len(l.dst) == 0 {
+		return 1
+	}
+	var max int64
+	for u := 0; u < n; u++ {
+		if d := l.off[u+1] - l.off[u]; d > max {
+			max = d
+		}
+	}
+	avg := float64(len(l.dst)) / float64(n)
+	if avg <= 0 {
+		return 1
+	}
+	s := float64(max) / avg
+	if s < 1 {
+		return 1
+	}
+	return s
+}

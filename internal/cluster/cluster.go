@@ -1,0 +1,207 @@
+// Package cluster simulates the distributed-memory machine the paper runs
+// on. Each rank is a goroutine with a private (by convention) address space
+// that communicates only through the cluster's message transport, exactly
+// mirroring an MPI program's structure: point-to-point sends and receives,
+// barriers, and allreduce collectives.
+//
+// Time is virtual. Every rank carries a clock in simulated seconds:
+// Compute advances it by modeled kernel time, sends and receives advance it
+// by the α–β cost of the transfer (including waiting for the sender), and
+// collectives synchronize all clocks to the maximum plus the collective's
+// modeled cost. Messages carry their virtual arrival times, so the final
+// clock readings are deterministic — independent of the Go scheduler —
+// as long as the simulated program itself is deterministic (receives name
+// their source rank explicitly; there is no wildcard receive).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"mndmst/internal/cost"
+)
+
+// Cluster is a simulated machine of P ranks sharing a communication model.
+type Cluster struct {
+	p    int
+	comm cost.CommModel
+	// mail[dst][src] holds messages from src to dst.
+	mail [][]*mailbox
+	rv   *rendezvous
+}
+
+// New creates a cluster of p ranks with the given network model.
+func New(p int, comm cost.CommModel) *Cluster {
+	if p < 1 {
+		panic(fmt.Sprintf("cluster: invalid rank count %d", p))
+	}
+	c := &Cluster{p: p, comm: comm, rv: newRendezvous(p)}
+	c.mail = make([][]*mailbox, p)
+	for d := range c.mail {
+		c.mail[d] = make([]*mailbox, p)
+		for s := range c.mail[d] {
+			c.mail[d][s] = newMailbox()
+		}
+	}
+	return c
+}
+
+// P reports the number of ranks.
+func (c *Cluster) P() int { return c.p }
+
+// Run executes fn on every rank concurrently and returns the per-rank
+// timing report. If any rank returns an error, Run returns the first one
+// (by rank order) alongside the report gathered so far.
+func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
+	ranks := make([]*Rank, c.p)
+	errs := make([]error, c.p)
+	var wg sync.WaitGroup
+	wg.Add(c.p)
+	for i := 0; i < c.p; i++ {
+		ranks[i] = &Rank{id: i, c: c, phases: make(map[string]*PhaseStats)}
+		go func(r *Rank) {
+			defer wg.Done()
+			errs[r.id] = fn(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	rep := buildReport(ranks)
+	for i, err := range errs {
+		if err != nil {
+			return rep, fmt.Errorf("cluster: rank %d: %w", i, err)
+		}
+	}
+	return rep, nil
+}
+
+// Rank is the per-process handle: identity, clock, and transport endpoints.
+// A Rank must only be used from the goroutine Run started for it.
+type Rank struct {
+	id int
+	c  *Cluster
+
+	now     float64 // virtual clock, seconds
+	compute float64
+	comm    float64
+
+	bytesSent int64
+	msgsSent  int64
+
+	phase  string
+	phases map[string]*PhaseStats
+
+	// linkBusyUntil tracks the receiver link occupancy when the comm
+	// model serializes ingress.
+	linkBusyUntil float64
+}
+
+// ID reports this rank's id in [0, P).
+func (r *Rank) ID() int { return r.id }
+
+// P reports the cluster size.
+func (r *Rank) P() int { return r.c.p }
+
+// Now reports the rank's current virtual time in seconds.
+func (r *Rank) Now() float64 { return r.now }
+
+// ComputeTime reports accumulated compute seconds.
+func (r *Rank) ComputeTime() float64 { return r.compute }
+
+// CommTime reports accumulated communication seconds (transfer plus
+// synchronization waiting).
+func (r *Rank) CommTime() float64 { return r.comm }
+
+// SetPhase labels subsequent time charges with the given phase name for the
+// phase-breakdown reports (Figure 7).
+func (r *Rank) SetPhase(name string) { r.phase = name }
+
+func (r *Rank) phaseStats() *PhaseStats {
+	name := r.phase
+	if name == "" {
+		name = "unlabeled"
+	}
+	ps := r.phases[name]
+	if ps == nil {
+		ps = &PhaseStats{}
+		r.phases[name] = ps
+	}
+	return ps
+}
+
+// Compute advances the clock by sec seconds of modeled computation.
+func (r *Rank) Compute(sec float64) {
+	if sec < 0 {
+		panic("cluster: negative compute time")
+	}
+	r.now += sec
+	r.compute += sec
+	r.phaseStats().Compute += sec
+}
+
+// chargeCommUntil moves the clock forward to at least t (never backward)
+// and books the delta as communication time.
+func (r *Rank) chargeCommUntil(t float64) {
+	if t <= r.now {
+		return
+	}
+	d := t - r.now
+	r.now = t
+	r.comm += d
+	r.phaseStats().Comm += d
+}
+
+// Send transfers data to rank dst with the given tag. The sender is charged
+// the full α–β transfer cost (a blocking send); the message arrives at the
+// sender's post-send clock. Data is referenced, not copied: the sender must
+// not modify the slice afterwards (ranks are address-space-separate by
+// convention, and all call sites build fresh buffers).
+func (r *Rank) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.c.p {
+		panic(fmt.Sprintf("cluster: send to invalid rank %d", dst))
+	}
+	c := r.c.comm.Seconds(int64(len(data)))
+	r.now += c
+	r.comm += c
+	ps := r.phaseStats()
+	ps.Comm += c
+	ps.BytesSent += int64(len(data))
+	ps.Msgs++
+	r.bytesSent += int64(len(data))
+	r.msgsSent++
+	r.c.mail[dst][r.id].put(message{tag: tag, data: data, arrival: r.now})
+}
+
+// Recv blocks until the next message from src arrives, checks its tag, and
+// returns its payload. The receiver's clock advances to the message's
+// arrival time if it is later (synchronization wait is booked as
+// communication time). With SerializeIngress, the payload transfer also
+// queues behind other traffic into this rank.
+func (r *Rank) Recv(src, tag int) []byte {
+	if src < 0 || src >= r.c.p {
+		panic(fmt.Sprintf("cluster: recv from invalid rank %d", src))
+	}
+	msg := r.c.mail[r.id][src].take()
+	if msg.tag != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", r.id, tag, src, msg.tag))
+	}
+	arrival := msg.arrival
+	if r.c.comm.SerializeIngress {
+		// The sender's clock already covers α + transfer on its side;
+		// the receiver link replays the transfer portion serially.
+		transfer := r.c.comm.Seconds(int64(len(msg.data))) - r.c.comm.Latency
+		start := msg.arrival - transfer // when the payload hits our link
+		if start < r.linkBusyUntil {
+			start = r.linkBusyUntil
+		}
+		arrival = start + transfer
+		r.linkBusyUntil = arrival
+	}
+	r.chargeCommUntil(arrival)
+	return msg.data
+}
+
+// BytesSent reports the total payload bytes this rank has sent.
+func (r *Rank) BytesSent() int64 { return r.bytesSent }
+
+// MsgsSent reports the number of messages this rank has sent.
+func (r *Rank) MsgsSent() int64 { return r.msgsSent }

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ReduceOp is an elementwise combination for Allreduce.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) apply(a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("cluster: unknown reduce op %d", op))
+	}
+}
+
+// rendezvous is a reusable all-rank synchronization point that also carries
+// reduction state. The last arriver resolves the round and wakes everyone.
+type rendezvous struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	p     int
+	count int
+	gen   int64
+
+	maxNow float64
+	acc    []int64 // reduction accumulator (nil for plain barriers)
+	accSet bool
+
+	// Resolved values of the finished round; valid until the NEXT round
+	// resolves, which cannot happen before every rank has read them.
+	relNow float64
+	relAcc []int64
+}
+
+func newRendezvous(p int) *rendezvous {
+	rv := &rendezvous{p: p}
+	rv.cond = sync.NewCond(&rv.mu)
+	return rv
+}
+
+// sync enters the rendezvous with the rank's clock and optional reduction
+// contribution; it returns the synchronized max clock and the reduced
+// vector (nil for plain barriers). All participating ranks must agree on
+// whether vals is nil and on its length.
+func (rv *rendezvous) sync(now float64, vals []int64, op ReduceOp) (float64, []int64) {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if now > rv.maxNow {
+		rv.maxNow = now
+	}
+	if vals != nil {
+		if !rv.accSet {
+			rv.acc = append(rv.acc[:0], vals...)
+			rv.accSet = true
+		} else {
+			if len(vals) != len(rv.acc) {
+				panic(fmt.Sprintf("cluster: allreduce length mismatch %d vs %d", len(vals), len(rv.acc)))
+			}
+			for i, v := range vals {
+				rv.acc[i] = op.apply(rv.acc[i], v)
+			}
+		}
+	}
+	rv.count++
+	if rv.count == rv.p {
+		// Resolve the round.
+		rv.relNow = rv.maxNow
+		if rv.accSet {
+			rv.relAcc = append([]int64(nil), rv.acc...)
+		} else {
+			rv.relAcc = nil
+		}
+		rv.count = 0
+		rv.maxNow = 0
+		rv.accSet = false
+		rv.gen++
+		rv.cond.Broadcast()
+		return rv.relNow, rv.relAcc
+	}
+	gen := rv.gen
+	for rv.gen == gen {
+		rv.cond.Wait()
+	}
+	return rv.relNow, rv.relAcc
+}
+
+// Barrier synchronizes all ranks: every clock advances to the maximum
+// across ranks plus the modeled dissemination-barrier cost.
+func (r *Rank) Barrier() {
+	maxNow, _ := r.c.rv.sync(r.now, nil, OpSum)
+	r.chargeCommUntil(maxNow + r.c.comm.BarrierSeconds(r.c.p))
+}
+
+// Allreduce combines vals elementwise across all ranks with op and returns
+// the result (a fresh slice). Clocks synchronize to the maximum plus the
+// modeled Rabenseifner allreduce cost for the vector size.
+func (r *Rank) Allreduce(vals []int64, op ReduceOp) []int64 {
+	if vals == nil {
+		vals = []int64{}
+	}
+	maxNow, red := r.c.rv.sync(r.now, vals, op)
+	r.chargeCommUntil(maxNow + r.c.comm.AllreduceSeconds(int64(8*len(vals)), r.c.p))
+	out := make([]int64, len(red))
+	copy(out, red)
+	return out
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (r *Rank) AllreduceScalar(v int64, op ReduceOp) int64 {
+	return r.Allreduce([]int64{v}, op)[0]
+}

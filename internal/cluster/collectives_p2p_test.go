@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		for root := 0; root < p; root += 3 {
+			c := New(p, testComm())
+			_, err := c.Run(func(r *Rank) error {
+				var data []byte
+				if r.ID() == root {
+					data = []byte(fmt.Sprintf("payload-from-%d", root))
+				}
+				got := r.Bcast(root, data)
+				want := fmt.Sprintf("payload-from-%d", root)
+				if string(got) != want {
+					return fmt.Errorf("rank %d got %q", r.ID(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastTreeCost(t *testing.T) {
+	// A binomial broadcast of n bytes across 8 ranks must charge each leaf
+	// at most log2(8)=3 full transfers — far less than 7 serialized sends.
+	c := New(8, testComm())
+	const n = 1 << 20
+	rep, err := c.Run(func(r *Rank) error {
+		var data []byte
+		if r.ID() == 0 {
+			data = make([]byte, n)
+		}
+		r.Bcast(0, data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHop := testComm().Seconds(n)
+	if exec := rep.ExecutionTime(); exec > 3.5*perHop {
+		t.Fatalf("broadcast took %g, want ≤ ~3 hops (%g each)", exec, perHop)
+	}
+	if rep.TotalMsgs() != 7 {
+		t.Fatalf("binomial bcast across 8 ranks sends 7 messages, got %d", rep.TotalMsgs())
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 6
+	c := New(p, testComm())
+	_, err := c.Run(func(r *Rank) error {
+		data := []byte{byte(r.ID() * 10)}
+		got := r.Gather(2, data)
+		if r.ID() != 2 {
+			if got != nil {
+				return fmt.Errorf("non-root received %v", got)
+			}
+			return nil
+		}
+		if len(got) != p {
+			return fmt.Errorf("root got %d payloads", len(got))
+		}
+		for src, b := range got {
+			if len(b) != 1 || b[0] != byte(src*10) {
+				return fmt.Errorf("payload from %d: %v", src, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		c := New(p, testComm())
+		_, err := c.Run(func(r *Rank) error {
+			out := make([][]byte, p)
+			for d := 0; d < p; d++ {
+				out[d] = []byte(fmt.Sprintf("%d->%d", r.ID(), d))
+			}
+			in := r.Alltoall(out)
+			for src := 0; src < p; src++ {
+				want := fmt.Sprintf("%d->%d", src, r.ID())
+				if string(in[src]) != want {
+					return fmt.Errorf("rank %d from %d: got %q want %q", r.ID(), src, in[src], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoallDeterministicTiming(t *testing.T) {
+	run := func() float64 {
+		c := New(5, testComm())
+		rep, err := c.Run(func(r *Rank) error {
+			out := make([][]byte, 5)
+			for d := range out {
+				out[d] = make([]byte, 100*(r.ID()+1))
+			}
+			r.Alltoall(out)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ExecutionTime()
+	}
+	ref := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != ref {
+			t.Fatalf("run %d: %g vs %g", i, got, ref)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "sync"
+
+// message is one point-to-point transfer in flight.
+type message struct {
+	tag     int
+	data    []byte
+	arrival float64 // virtual time at which the bytes are fully received
+}
+
+// mailbox is an unbounded FIFO queue of messages for one (src → dst) pair.
+// Unboundedness matters: the multi-phase ghost exchanges send many messages
+// before the receiver drains any, and a bounded channel could deadlock the
+// simulation even though the modeled MPI program would not.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put appends msg and wakes a waiting receiver.
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// take blocks until a message is available and removes it.
+func (m *mailbox) take() message {
+	m.mu.Lock()
+	for len(m.queue) == 0 {
+		m.cond.Wait()
+	}
+	msg := m.queue[0]
+	// Avoid retaining the backing array forever.
+	copy(m.queue, m.queue[1:])
+	m.queue = m.queue[:len(m.queue)-1]
+	m.mu.Unlock()
+	return msg
+}
+
+// pending reports the queue length (for tests).
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

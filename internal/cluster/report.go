@@ -1,0 +1,133 @@
+package cluster
+
+import "sort"
+
+// PhaseStats accumulates one rank's time and traffic within a named phase.
+type PhaseStats struct {
+	Compute   float64
+	Comm      float64
+	BytesSent int64
+	Msgs      int64
+}
+
+// RankStats is the final accounting of one rank.
+type RankStats struct {
+	Rank      int
+	Total     float64 // final virtual clock
+	Compute   float64
+	Comm      float64
+	BytesSent int64
+	MsgsSent  int64
+	Phases    map[string]PhaseStats
+}
+
+// Report aggregates the whole run. The simulated execution time of the
+// program is the maximum final clock across ranks, as it would be on a real
+// machine.
+type Report struct {
+	Ranks []RankStats
+}
+
+func buildReport(ranks []*Rank) *Report {
+	rep := &Report{Ranks: make([]RankStats, len(ranks))}
+	for i, r := range ranks {
+		ph := make(map[string]PhaseStats, len(r.phases))
+		for name, p := range r.phases {
+			ph[name] = *p
+		}
+		rep.Ranks[i] = RankStats{
+			Rank:      i,
+			Total:     r.now,
+			Compute:   r.compute,
+			Comm:      r.comm,
+			BytesSent: r.bytesSent,
+			MsgsSent:  r.msgsSent,
+			Phases:    ph,
+		}
+	}
+	return rep
+}
+
+// ExecutionTime is the simulated makespan: the maximum final clock.
+func (rep *Report) ExecutionTime() float64 {
+	var m float64
+	for _, r := range rep.Ranks {
+		if r.Total > m {
+			m = r.Total
+		}
+	}
+	return m
+}
+
+// CommTime reports the communication time of the slowest-communicating
+// rank, the quantity the paper's Table 3 lists as "Comm Time".
+func (rep *Report) CommTime() float64 {
+	var m float64
+	for _, r := range rep.Ranks {
+		if r.Comm > m {
+			m = r.Comm
+		}
+	}
+	return m
+}
+
+// ComputeTime reports the maximum per-rank compute time.
+func (rep *Report) ComputeTime() float64 {
+	var m float64
+	for _, r := range rep.Ranks {
+		if r.Compute > m {
+			m = r.Compute
+		}
+	}
+	return m
+}
+
+// TotalBytes reports the total payload bytes sent by all ranks.
+func (rep *Report) TotalBytes() int64 {
+	var s int64
+	for _, r := range rep.Ranks {
+		s += r.BytesSent
+	}
+	return s
+}
+
+// TotalMsgs reports the total number of messages sent by all ranks.
+func (rep *Report) TotalMsgs() int64 {
+	var s int64
+	for _, r := range rep.Ranks {
+		s += r.MsgsSent
+	}
+	return s
+}
+
+// PhaseNames returns the sorted union of phase names across ranks.
+func (rep *Report) PhaseNames() []string {
+	set := map[string]bool{}
+	for _, r := range rep.Ranks {
+		for name := range r.Phases {
+			set[name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PhaseTime returns the maximum across ranks of (compute, comm) time spent
+// in the named phase — the per-phase bars of Figure 7.
+func (rep *Report) PhaseTime(name string) (compute, comm float64) {
+	for _, r := range rep.Ranks {
+		if p, ok := r.Phases[name]; ok {
+			if p.Compute > compute {
+				compute = p.Compute
+			}
+			if p.Comm > comm {
+				comm = p.Comm
+			}
+		}
+	}
+	return compute, comm
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"mndmst/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	el := BarabasiAlbert(5000, 4, 11)
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.MustBuildCSR(el)
+	st := graph.ComputeStats(g)
+	if st.Components != 1 {
+		t.Fatalf("BA graph disconnected: %d components", st.Components)
+	}
+	// Preferential attachment: heavy-tailed degrees.
+	if float64(st.MaxDegree) < 10*st.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: no hub formation", st.MaxDegree, st.AvgDegree)
+	}
+	// Expected edge count: 1 + sum over arrivals.
+	if len(el.Edges) < 4*(5000-4) {
+		t.Fatalf("edges=%d", len(el.Edges))
+	}
+}
+
+func TestBarabasiAlbertDegenerate(t *testing.T) {
+	if got := BarabasiAlbert(1, 3, 1); len(got.Edges) != 0 {
+		t.Fatal("single vertex should have no edges")
+	}
+	el := BarabasiAlbert(5, 0, 1) // k clamped to 1
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if graph.CountComponents(graph.MustBuildCSR(el)) != 1 {
+		t.Fatal("k=1 BA should still be connected")
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	// beta=0: pure ring lattice, exactly n*k/2 edges, all degrees k.
+	el := WattsStrogatz(100, 4, 0, 7)
+	if len(el.Edges) != 200 {
+		t.Fatalf("edges=%d want 200", len(el.Edges))
+	}
+	g := graph.MustBuildCSR(el)
+	for v := int32(0); v < 100; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d)=%d want 4", v, g.Degree(v))
+		}
+	}
+	st := graph.ComputeStats(g)
+	lattDiam := st.ApproxDiam
+
+	// beta=0.3: same edge count, much smaller diameter (small world).
+	sw := WattsStrogatz(100, 4, 0.3, 7)
+	if len(sw.Edges) != 200 {
+		t.Fatalf("rewiring changed edge count: %d", len(sw.Edges))
+	}
+	swDiam := graph.ComputeStats(graph.MustBuildCSR(sw)).ApproxDiam
+	if swDiam >= lattDiam {
+		t.Fatalf("rewiring did not shrink diameter: %d vs %d", swDiam, lattDiam)
+	}
+}
+
+func TestWattsStrogatzClamping(t *testing.T) {
+	// k larger than n gets clamped; odd k rounded down.
+	el := WattsStrogatz(6, 99, 0, 3)
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	el = WattsStrogatz(10, 5, 0, 3) // k→4
+	g := graph.MustBuildCSR(el)
+	if g.Degree(0) != 4 {
+		t.Fatalf("degree=%d want 4", g.Degree(0))
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	el := BinaryTree(127, 5)
+	if len(el.Edges) != 126 {
+		t.Fatalf("edges=%d", len(el.Edges))
+	}
+	g := graph.MustBuildCSR(el)
+	st := graph.ComputeStats(g)
+	if st.Components != 1 {
+		t.Fatal("tree disconnected")
+	}
+	if st.ApproxDiam < 10 || st.ApproxDiam > 13 {
+		t.Fatalf("diameter=%d want ~12 for 127-vertex complete binary tree", st.ApproxDiam)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	el := Complete(10, 5)
+	if len(el.Edges) != 45 {
+		t.Fatalf("edges=%d want 45", len(el.Edges))
+	}
+	g := graph.MustBuildCSR(el)
+	if graph.ComputeStats(g).ApproxDiam != 1 {
+		t.Fatal("complete graph diameter must be 1")
+	}
+}

@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"testing"
+
+	"mndmst/internal/graph"
+)
+
+func TestWebGraphShape(t *testing.T) {
+	el := WebGraph(20_000, 400_000, 0.85, 5)
+	if err := el.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(graph.MustBuildCSR(el))
+	if float64(st.MaxDegree) < 20*st.AvgDegree {
+		t.Fatalf("max degree %d vs avg %.1f: not skewed enough for a web crawl", st.MaxDegree, st.AvgDegree)
+	}
+	if st.ApproxDiam > 60 {
+		t.Fatalf("diameter %d too large for a web-like graph", st.ApproxDiam)
+	}
+}
+
+func TestWebGraphLocality(t *testing.T) {
+	// With high locality, a 4-way contiguous partition keeps the large
+	// majority of edges internal — the property that lets indComp build
+	// big components (§3.1).
+	el := WebGraph(16_000, 160_000, 0.85, 7)
+	cut := 0
+	for _, e := range el.Edges {
+		if e.U/4000 != e.V/4000 {
+			cut++
+		}
+	}
+	frac := float64(cut) / float64(len(el.Edges))
+	if frac > 0.15 {
+		t.Fatalf("cut fraction %.2f too high for locality 0.85", frac)
+	}
+
+	// With low locality the cut fraction must be clearly higher.
+	low := WebGraph(16_000, 160_000, 0.2, 7)
+	cutLow := 0
+	for _, e := range low.Edges {
+		if e.U/4000 != e.V/4000 {
+			cutLow++
+		}
+	}
+	if cutLow <= cut {
+		t.Fatalf("low locality cut %d not above high locality cut %d", cutLow, cut)
+	}
+}
+
+func TestWebGraphDeterministicAndClamped(t *testing.T) {
+	a := WebGraph(1000, 5000, 0.8, 3)
+	b := WebGraph(1000, 5000, 0.8, 3)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	// Out-of-range locality is clamped, not an error.
+	if err := WebGraph(500, 1000, -1, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WebGraph(500, 1000, 2, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny graphs work.
+	if err := WebGraph(2, 10, 0.5, 3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// DegreeHistogram summarizes the degree distribution of a graph in
+// log2-spaced buckets plus exact percentiles — the distribution view the
+// paper's Table 2 max/avg columns compress.
+type DegreeHistogram struct {
+	// Buckets[i] counts vertices with degree in [2^(i-1)+1 .. 2^i]
+	// (Buckets[0] counts degree-0 vertices, Buckets[1] degree 1,
+	// Buckets[2] degree 2, Buckets[3] degrees 3-4, ...).
+	Buckets []int64
+	// P50, P90, P99 are exact degree percentiles.
+	P50, P90, P99 int64
+	Max           int64
+}
+
+// ComputeDegreeHistogram builds the histogram for g.
+func ComputeDegreeHistogram(g *CSR) DegreeHistogram {
+	h := DegreeHistogram{}
+	if g.N == 0 {
+		return h
+	}
+	degs := make([]int64, g.N)
+	for v := int32(0); v < g.N; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	h.Max = degs[len(degs)-1]
+	pct := func(q float64) int64 {
+		i := int(math.Ceil(q * float64(len(degs)-1)))
+		return degs[i]
+	}
+	h.P50, h.P90, h.P99 = pct(0.50), pct(0.90), pct(0.99)
+	for _, d := range degs {
+		b := bucketOf(d)
+		for len(h.Buckets) <= b {
+			h.Buckets = append(h.Buckets, 0)
+		}
+		h.Buckets[b]++
+	}
+	return h
+}
+
+// bucketOf maps a degree to its log2 bucket index.
+func bucketOf(d int64) int {
+	if d <= 0 {
+		return 0
+	}
+	b := 1
+	for limit := int64(1); limit < d; limit <<= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph container format used by the cmd tools:
+//
+//	magic   [8]byte  "MNDMSTG1"
+//	n       int32    vertex count
+//	m       int64    edge count
+//	edges   m × {u int32, v int32, w uint64}
+//
+// Edge ids are implicit positions. All integers little-endian.
+
+var fileMagic = [8]byte{'M', 'N', 'D', 'M', 'S', 'T', 'G', '1'}
+
+// WriteEdgeList serializes el to w in the binary container format.
+func WriteEdgeList(w io.Writer, el *EdgeList) error {
+	if err := el.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, el.N); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(el.Edges))); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for _, e := range el.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(rec[8:], e.W)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the binary container format from r.
+func ReadEdgeList(r io.Reader) (*EdgeList, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var n int32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	var m int64
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || m > MaxEdges {
+		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+	}
+	// Grow incrementally rather than trusting the header's count: a
+	// corrupt (or hostile) header must not provoke a giant allocation
+	// before the body proves it is actually that long.
+	initialCap := m
+	if initialCap > 1<<16 {
+		initialCap = 1 << 16
+	}
+	el := &EdgeList{N: n, Edges: make([]Edge, 0, initialCap)}
+	var rec [16]byte
+	for i := int64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		el.Edges = append(el.Edges, Edge{
+			U:  int32(binary.LittleEndian.Uint32(rec[0:])),
+			V:  int32(binary.LittleEndian.Uint32(rec[4:])),
+			W:  binary.LittleEndian.Uint64(rec[8:]),
+			ID: int32(i),
+		})
+	}
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// SaveEdgeList writes el to the named file.
+func SaveEdgeList(path string, el *EdgeList) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, el); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEdgeList reads an edge list from the named file.
+func LoadEdgeList(path string) (*EdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}

@@ -1,0 +1,106 @@
+// Package hashtable implements the two concurrent hash tables the paper's
+// merge machinery is built on: the ghostList (§3.1), indexed on the
+// processor id of the ghost vertex, and the pair-min table (§3.3) that
+// keeps the lightest edge between every pair of components during
+// multi-edge removal. Both are sharded for parallel updates ("the processor
+// parallely updates the ghostList using multiple threads") and count their
+// operations so the device cost models can charge for hash work.
+package hashtable
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// GhostEdge is one cut edge as stored in the ghostList: the local boundary
+// vertex, the remote ghost vertex, the weight, and the original edge id.
+type GhostEdge struct {
+	Local int32
+	Ghost int32
+	W     uint64
+	EID   int32
+}
+
+const ghostShards = 16
+
+type ghostShard struct {
+	mu sync.Mutex
+	m  map[int32][]GhostEdge
+}
+
+// GhostList maps remote processor ids to the cut edges reaching them. Safe
+// for concurrent Add from multiple goroutines.
+type GhostList struct {
+	shards [ghostShards]ghostShard
+	ops    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewGhostList creates an empty ghost list.
+func NewGhostList() *GhostList {
+	g := &GhostList{}
+	for i := range g.shards {
+		g.shards[i].m = make(map[int32][]GhostEdge)
+	}
+	return g
+}
+
+func (g *GhostList) shard(proc int32) *ghostShard {
+	return &g.shards[uint32(proc)%ghostShards]
+}
+
+// Add records a ghost edge under the given remote processor id.
+func (g *GhostList) Add(proc int32, e GhostEdge) {
+	s := g.shard(proc)
+	s.mu.Lock()
+	s.m[proc] = append(s.m[proc], e)
+	s.mu.Unlock()
+	g.ops.Add(1)
+	g.count.Add(1)
+}
+
+// ForProc returns the ghost edges toward processor proc (the stored slice;
+// callers must not modify it).
+func (g *GhostList) ForProc(proc int32) []GhostEdge {
+	s := g.shard(proc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.ops.Add(1)
+	return s.m[proc]
+}
+
+// Procs returns the sorted list of processor ids with at least one ghost
+// edge.
+func (g *GhostList) Procs() []int32 {
+	var procs []int32
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for p := range s.m {
+			procs = append(procs, p)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	return procs
+}
+
+// Len reports the total number of stored ghost edges.
+func (g *GhostList) Len() int { return int(g.count.Load()) }
+
+// Ops reports the number of hash operations performed, for cost accounting.
+func (g *GhostList) Ops() int64 { return g.ops.Load() }
+
+// Clear removes all entries, keeping the allocation.
+func (g *GhostList) Clear() {
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.mu.Lock()
+		for p := range s.m {
+			delete(s.m, p)
+		}
+		s.mu.Unlock()
+	}
+	g.count.Store(0)
+}

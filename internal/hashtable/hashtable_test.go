@@ -1,0 +1,159 @@
+package hashtable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mndmst/internal/wire"
+)
+
+func TestGhostListBasic(t *testing.T) {
+	g := NewGhostList()
+	if g.Len() != 0 {
+		t.Fatal("new list not empty")
+	}
+	g.Add(3, GhostEdge{Local: 1, Ghost: 100, W: 5, EID: 0})
+	g.Add(3, GhostEdge{Local: 2, Ghost: 101, W: 6, EID: 1})
+	g.Add(7, GhostEdge{Local: 1, Ghost: 200, W: 7, EID: 2})
+	if g.Len() != 3 {
+		t.Fatalf("len=%d", g.Len())
+	}
+	if got := g.ForProc(3); len(got) != 2 {
+		t.Fatalf("proc 3 edges=%d", len(got))
+	}
+	if got := g.ForProc(99); got != nil {
+		t.Fatalf("unknown proc returned %v", got)
+	}
+	procs := g.Procs()
+	if len(procs) != 2 || procs[0] != 3 || procs[1] != 7 {
+		t.Fatalf("procs=%v", procs)
+	}
+	if g.Ops() == 0 {
+		t.Fatal("ops not counted")
+	}
+	g.Clear()
+	if g.Len() != 0 || len(g.Procs()) != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestGhostListConcurrentAdds(t *testing.T) {
+	g := NewGhostList()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				proc := int32(i % 33)
+				g.Add(proc, GhostEdge{Local: int32(w), Ghost: int32(i), EID: int32(w*per + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != workers*per {
+		t.Fatalf("len=%d want %d", g.Len(), workers*per)
+	}
+	total := 0
+	for _, p := range g.Procs() {
+		total += len(g.ForProc(p))
+	}
+	if total != workers*per {
+		t.Fatalf("sum over procs=%d", total)
+	}
+}
+
+func TestMakePairKeyCanonical(t *testing.T) {
+	f := func(a, b int32) bool {
+		k1 := MakePairKey(a, b)
+		k2 := MakePairKey(b, a)
+		if k1 != k2 {
+			return false
+		}
+		lo, hi := k1.Unpack()
+		if a <= b {
+			return lo == a && hi == b
+		}
+		return lo == b && hi == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairMinTableKeepsMinimum(t *testing.T) {
+	pt := NewPairMinTable()
+	if !pt.Update(1, 2, wire.WEdge{U: 1, V: 2, W: 50, ID: 0}) {
+		t.Fatal("first update should install")
+	}
+	if pt.Update(2, 1, wire.WEdge{U: 2, V: 1, W: 60, ID: 1}) {
+		t.Fatal("heavier edge should lose (and pair order must not matter)")
+	}
+	if !pt.Update(1, 2, wire.WEdge{U: 1, V: 2, W: 40, ID: 2}) {
+		t.Fatal("lighter edge should win")
+	}
+	pt.Update(3, 4, wire.WEdge{U: 3, V: 4, W: 10, ID: 3})
+	if pt.Len() != 2 {
+		t.Fatalf("len=%d", pt.Len())
+	}
+	edges := pt.Edges()
+	byPair := map[PairKey]wire.WEdge{}
+	for _, e := range edges {
+		byPair[MakePairKey(e.U, e.V)] = e
+	}
+	if byPair[MakePairKey(1, 2)].W != 40 {
+		t.Fatalf("pair (1,2) kept %d", byPair[MakePairKey(1, 2)].W)
+	}
+	if pt.Ops() != 4 {
+		t.Fatalf("ops=%d", pt.Ops())
+	}
+}
+
+func TestPairMinTableConcurrentFindsGlobalMinima(t *testing.T) {
+	pt := NewPairMinTable()
+	const pairs = 100
+	const perPair = 500
+	type cand struct {
+		a, b int32
+		w    uint64
+	}
+	rng := rand.New(rand.NewSource(3))
+	var all []cand
+	want := map[PairKey]uint64{}
+	for p := 0; p < pairs; p++ {
+		a, b := int32(rng.Intn(50)), int32(rng.Intn(50))
+		for i := 0; i < perPair; i++ {
+			w := uint64(rng.Int63n(1 << 40))
+			all = append(all, cand{a, b, w})
+			k := MakePairKey(a, b)
+			if cur, ok := want[k]; !ok || w < cur {
+				want[k] = w
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(all); i += workers {
+				c := all[i]
+				pt.Update(c.a, c.b, wire.WEdge{U: c.a, V: c.b, W: c.w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pt.Len() != len(want) {
+		t.Fatalf("len=%d want %d", pt.Len(), len(want))
+	}
+	for _, e := range pt.Edges() {
+		k := MakePairKey(e.U, e.V)
+		if e.W != want[k] {
+			t.Fatalf("pair %v kept %d want %d", k, e.W, want[k])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package merge
+
+import (
+	"fmt"
+
+	"mndmst/internal/cluster"
+	"mndmst/internal/cost"
+	"mndmst/internal/wire"
+)
+
+// Message tags used by the merge protocol. Each logical stream uses one
+// tag; chunking relies on the transport's per-pair FIFO ordering.
+const (
+	tagDeltas   = 100
+	tagSegment  = 101
+	tagToLeader = 102
+	tagForest   = 103
+)
+
+// DefaultChunk is the default payload chunk size for the multi-phase
+// exchanges ("the processors communicate these boundary vertices in
+// multiple phases", §3.1). Small enough to exercise multi-phase behaviour
+// at reproduction scale.
+const DefaultChunk = 16 << 10
+
+// sendChunked transmits payload to dst in chunks of at most chunk bytes,
+// preceded by a header carrying the chunk count.
+func sendChunked(r *cluster.Rank, dst, tag int, payload []byte, chunk int) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	n := (len(payload) + chunk - 1) / chunk
+	r.Send(dst, tag, wire.AppendUint64(nil, uint64(n)))
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		r.Send(dst, tag, payload[lo:hi])
+	}
+}
+
+// recvChunked receives a payload sent by sendChunked.
+func recvChunked(r *cluster.Rank, src, tag int) ([]byte, error) {
+	head := r.Recv(src, tag)
+	n, _, err := wire.TakeUint64(head)
+	if err != nil {
+		return nil, fmt.Errorf("merge: chunk header from %d: %w", src, err)
+	}
+	var payload []byte
+	for i := uint64(0); i < n; i++ {
+		payload = append(payload, r.Recv(src, tag)...)
+	}
+	return payload, nil
+}
+
+// encodeDeltas serializes parent deltas.
+func encodeDeltas(ds []Delta) []byte {
+	olds := make([]int32, len(ds))
+	news := make([]int32, len(ds))
+	for i, d := range ds {
+		olds[i] = d.Old
+		news[i] = d.New
+	}
+	buf := wire.AppendInt32s(nil, olds)
+	return wire.AppendInt32s(buf, news)
+}
+
+// decodeDeltas parses parent deltas.
+func decodeDeltas(buf []byte) ([]Delta, error) {
+	olds, buf, err := wire.TakeInt32s(buf)
+	if err != nil {
+		return nil, err
+	}
+	news, _, err := wire.TakeInt32s(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(olds) != len(news) {
+		return nil, fmt.Errorf("merge: delta arrays mismatch %d vs %d", len(olds), len(news))
+	}
+	ds := make([]Delta, len(olds))
+	for i := range ds {
+		ds[i] = Delta{Old: olds[i], New: news[i]}
+	}
+	return ds, nil
+}
+
+// ExchangeDeltas performs the ghost parent-id exchange of §3.3 among the
+// active ranks: every active rank sends its local parent deltas to every
+// other active rank (in multiple chunked phases) and receives theirs. The
+// calling rank must appear in active; inactive ranks must not call.
+// Returns the remote deltas concatenated in ascending sender order, so the
+// combined relabeling is deterministic.
+func ExchangeDeltas(r *cluster.Rank, active []int, local []Delta, chunk int) ([]Delta, cost.Work, error) {
+	var w cost.Work
+	payload := encodeDeltas(local)
+	for _, dst := range active {
+		if dst == r.ID() {
+			continue
+		}
+		sendChunked(r, dst, tagDeltas, payload, chunk)
+	}
+	var remote []Delta
+	for _, src := range active {
+		if src == r.ID() {
+			continue
+		}
+		buf, err := recvChunked(r, src, tagDeltas)
+		if err != nil {
+			return nil, w, err
+		}
+		ds, err := decodeDeltas(buf)
+		if err != nil {
+			return nil, w, err
+		}
+		remote = append(remote, ds...)
+	}
+	w.HashOps = int64(len(remote) + len(local))
+	return remote, w, nil
+}
+
+// Payload is a set of components with their incident edges, as moved
+// between ranks by segment exchanges and leader merges.
+type Payload struct {
+	Comps []int32
+	Edges []wire.WEdge
+}
+
+// encodePayload serializes a component transfer.
+func encodePayload(p Payload) []byte {
+	buf := wire.AppendInt32s(nil, p.Comps)
+	return wire.AppendWEdges(buf, p.Edges)
+}
+
+// decodePayload parses a component transfer.
+func decodePayload(buf []byte) (Payload, error) {
+	comps, buf, err := wire.TakeInt32s(buf)
+	if err != nil {
+		return Payload{}, err
+	}
+	edges, _, err := wire.TakeWEdges(buf)
+	if err != nil {
+		return Payload{}, err
+	}
+	return Payload{Comps: comps, Edges: edges}, nil
+}
+
+// SendPayload ships a component transfer to dst in chunks.
+func SendPayload(r *cluster.Rank, dst int, p Payload, chunk int) {
+	sendChunked(r, dst, tagSegment, encodePayload(p), chunk)
+}
+
+// RecvPayload receives a component transfer from src.
+func RecvPayload(r *cluster.Rank, src int, chunk int) (Payload, error) {
+	buf, err := recvChunked(r, src, tagSegment)
+	if err != nil {
+		return Payload{}, err
+	}
+	return decodePayload(buf)
+}
+
+// SendToLeader ships everything a rank owns to its group leader.
+func SendToLeader(r *cluster.Rank, leader int, p Payload, chunk int) {
+	sendChunked(r, leader, tagToLeader, encodePayload(p), chunk)
+}
+
+// RecvFromMember receives a member's full state at the leader.
+func RecvFromMember(r *cluster.Rank, member int, chunk int) (Payload, error) {
+	buf, err := recvChunked(r, member, tagToLeader)
+	if err != nil {
+		return Payload{}, err
+	}
+	return decodePayload(buf)
+}
+
+// SendForest ships chosen MST edge ids to dst (final result gathering).
+func SendForest(r *cluster.Rank, dst int, ids []int32, chunk int) {
+	sendChunked(r, dst, tagForest, wire.AppendInt32s(nil, ids), chunk)
+}
+
+// RecvForest receives chosen MST edge ids from src.
+func RecvForest(r *cluster.Rank, src int, chunk int) ([]int32, error) {
+	buf, err := recvChunked(r, src, tagForest)
+	if err != nil {
+		return nil, err
+	}
+	ids, _, err := wire.TakeInt32s(buf)
+	return ids, err
+}

@@ -1,0 +1,75 @@
+package merge
+
+import "sort"
+
+// FormGroups partitions the sorted active rank list into contiguous groups
+// of at most size g (the paper experimented with 2, 4, 8, 16 and chose 4).
+// The first rank of each group is its leader.
+func FormGroups(active []int, g int) [][]int {
+	if g < 2 {
+		g = 2
+	}
+	sorted := append([]int(nil), active...)
+	sort.Ints(sorted)
+	var groups [][]int
+	for lo := 0; lo < len(sorted); lo += g {
+		hi := lo + g
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		groups = append(groups, sorted[lo:hi:hi])
+	}
+	return groups
+}
+
+// GroupOf returns the group containing rank, or nil.
+func GroupOf(groups [][]int, rank int) []int {
+	for _, grp := range groups {
+		for _, r := range grp {
+			if r == rank {
+				return grp
+			}
+		}
+	}
+	return nil
+}
+
+// Leader returns a group's leader (its first, smallest rank).
+func Leader(group []int) int { return group[0] }
+
+// RingNeighbors returns the ranks a group member sends to (left) and
+// receives from (right) in the ring-based exchange of §3.4: P_i sends to
+// P_(i-1) mod n and receives from P_(i+1) mod n within its group.
+func RingNeighbors(group []int, rank int) (sendTo, recvFrom int) {
+	n := len(group)
+	idx := -1
+	for i, r := range group {
+		if r == rank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("merge: rank not in group")
+	}
+	return group[(idx-1+n)%n], group[(idx+1)%n]
+}
+
+// SplitSegment selects the components a rank sends in one ring round: the
+// trailing 1/parts fraction of its owned list (at least one when anything
+// is owned). Owned must be sorted; the kept prefix and sent suffix are
+// returned.
+func SplitSegment(owned []int32, parts int) (kept, sent []int32) {
+	if len(owned) == 0 {
+		return owned, nil
+	}
+	if parts < 2 {
+		parts = 2
+	}
+	k := len(owned) / parts
+	if k < 1 {
+		k = 1
+	}
+	cut := len(owned) - k
+	return owned[:cut:cut], owned[cut:]
+}

@@ -1,0 +1,31 @@
+package merge
+
+import "mndmst/internal/wire"
+
+// SplitEdges divides a rank's edge list when the components in sent move
+// away. Every edge incident to a sent component travels with the payload;
+// every edge incident to a kept owned component stays. An edge between a
+// kept and a sent component does both — the invariant is that an edge copy
+// lives at each rank owning one of its endpoints.
+func SplitEdges(edges []wire.WEdge, kept, sent map[int32]bool) (keptEdges, movedEdges []wire.WEdge) {
+	for _, e := range edges {
+		uSent, vSent := sent[e.U], sent[e.V]
+		uKept, vKept := kept[e.U], kept[e.V]
+		if uSent || vSent {
+			movedEdges = append(movedEdges, e)
+		}
+		if uKept || vKept {
+			keptEdges = append(keptEdges, e)
+		}
+	}
+	return keptEdges, movedEdges
+}
+
+// ToSet builds a membership set from a component list.
+func ToSet(comps []int32) map[int32]bool {
+	m := make(map[int32]bool, len(comps))
+	for _, c := range comps {
+		m[c] = true
+	}
+	return m
+}

@@ -1,0 +1,41 @@
+package mst
+
+import (
+	"testing"
+
+	"mndmst/internal/gen"
+	"mndmst/internal/graph"
+)
+
+func BenchmarkKruskal(b *testing.B) {
+	el := gen.WebGraph(1<<14, 1<<18, 0.85, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Kruskal(el)
+	}
+}
+
+func BenchmarkPrim(b *testing.B) {
+	el := gen.WebGraph(1<<14, 1<<18, 0.85, 3)
+	g := graph.MustBuildCSR(el)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prim(g)
+	}
+}
+
+func BenchmarkSequentialBoruvka(b *testing.B) {
+	el := gen.WebGraph(1<<14, 1<<18, 0.85, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Boruvka(el)
+	}
+}
+
+func BenchmarkFilterKruskal(b *testing.B) {
+	el := gen.WebGraph(1<<14, 1<<18, 0.85, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FilterKruskal(el)
+	}
+}

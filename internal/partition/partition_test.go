@@ -1,0 +1,260 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mndmst/internal/cluster"
+	"mndmst/internal/cost"
+	"mndmst/internal/gen"
+	"mndmst/internal/graph"
+)
+
+func testComm() cost.CommModel { return cost.CommModel{Latency: 1e-6, Bandwidth: 1e9} }
+
+func TestBalancedBoundsUniform(t *testing.T) {
+	deg := make([]int64, 100)
+	for i := range deg {
+		deg[i] = 4
+	}
+	b := BalancedBounds(deg, 4)
+	want := []int32{0, 25, 50, 75, 100}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds=%v want %v", b, want)
+		}
+	}
+}
+
+func TestBalancedBoundsSkewed(t *testing.T) {
+	// One hub with degree 1000, everyone else degree 1: the hub's
+	// partition should be small in vertex count.
+	deg := make([]int64, 100)
+	for i := range deg {
+		deg[i] = 1
+	}
+	deg[0] = 1000
+	b := BalancedBounds(deg, 4)
+	if b[0] != 0 || b[4] != 100 {
+		t.Fatalf("bounds=%v", b)
+	}
+	// Partition 0 contains the hub and must be tiny.
+	if b[1] > 5 {
+		t.Fatalf("hub partition spans %d vertices: %v", b[1], b)
+	}
+	// Every vertex is covered exactly once, boundaries monotone.
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("non-monotone bounds %v", b)
+		}
+	}
+}
+
+func TestBalancedBoundsMoreRanksThanVertices(t *testing.T) {
+	b := BalancedBounds([]int64{3, 3}, 5)
+	if b[0] != 0 || b[len(b)-1] != 2 {
+		t.Fatalf("bounds=%v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("non-monotone %v", b)
+		}
+	}
+}
+
+func TestOwnerOfInverseOfBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 50
+		deg := make([]int64, n)
+		for i := range deg {
+			deg[i] = int64(1 + (int(seed)+i*7)%13)
+		}
+		p := 1 + int(uint64(seed)%7)
+		b := BalancedBounds(deg, p)
+		for v := int32(0); v < int32(n); v++ {
+			o := OwnerOf(b, v)
+			if o < 0 || o >= p || v < b[o] || v >= b[o+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCoversAllEdges(t *testing.T) {
+	el := gen.RMAT(512, 4096, 41)
+	g := graph.MustBuildCSR(el)
+	for _, p := range []int{1, 2, 4, 7} {
+		c := cluster.New(p, testComm())
+		counts := make([]map[int32]int, p)
+		_, err := c.Run(func(r *cluster.Rank) error {
+			part, w := Read(r, g)
+			if w.VerticesProcessed == 0 && g.N > 0 {
+				return fmt.Errorf("no partition work reported")
+			}
+			m := map[int32]int{}
+			for _, e := range part.Edges {
+				m[e.ID]++
+				if m[e.ID] > 1 {
+					return fmt.Errorf("edge %d twice in one part", e.ID)
+				}
+			}
+			counts[r.ID()] = m
+			// Bounds identical across ranks and consistent with [Lo,Hi).
+			if part.Bounds[r.ID()] != part.Lo || part.Bounds[r.ID()+1] != part.Hi {
+				return fmt.Errorf("bounds inconsistent: %v vs [%d,%d)", part.Bounds, part.Lo, part.Hi)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every edge appears once (internal) or twice (cut).
+		total := map[int32]int{}
+		for _, m := range counts {
+			for id, c := range m {
+				total[id] += c
+			}
+		}
+		for _, e := range el.Edges {
+			c := total[e.ID]
+			if c != 1 && c != 2 {
+				t.Fatalf("p=%d: edge %d appears %d times", p, e.ID, c)
+			}
+		}
+		if len(total) != len(el.Edges) {
+			t.Fatalf("p=%d: %d distinct edges, want %d", p, len(total), len(el.Edges))
+		}
+	}
+}
+
+func TestReadBalancesEdges(t *testing.T) {
+	el := gen.RMAT(1024, 16384, 43)
+	g := graph.MustBuildCSR(el)
+	const p = 8
+	c := cluster.New(p, testComm())
+	sizes := make([]int, p)
+	_, err := c.Run(func(r *cluster.Rank) error {
+		part, _ := Read(r, g)
+		sizes[r.ID()] = len(part.Edges)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	// Degree-balanced 1D partitioning should keep imbalance moderate even
+	// on a power-law graph (hub partitions shrink in vertex count).
+	if min == 0 || float64(max)/float64(min) > 3.5 {
+		t.Fatalf("edge imbalance too high: sizes=%v", sizes)
+	}
+}
+
+func TestBuildGhostList(t *testing.T) {
+	// Path 0-1-2-3 split at 2: rank owning {0,1} has one cut edge to
+	// owner of {2,3}.
+	el := gen.Path(4, 3)
+	g := graph.MustBuildCSR(el)
+	c := cluster.New(2, testComm())
+	_, err := c.Run(func(r *cluster.Rank) error {
+		part, _ := Read(r, g)
+		gl, w := BuildGhostList(part)
+		if gl.Len() != 1 {
+			return fmt.Errorf("rank %d: ghost edges=%d want 1", r.ID(), gl.Len())
+		}
+		other := 1 - r.ID()
+		ge := gl.ForProc(int32(other))
+		if len(ge) != 1 {
+			return fmt.Errorf("rank %d: no ghosts for %d", r.ID(), other)
+		}
+		if ge[0].Local < part.Lo || ge[0].Local >= part.Hi {
+			return fmt.Errorf("local endpoint %d outside [%d,%d)", ge[0].Local, part.Lo, part.Hi)
+		}
+		if ge[0].Ghost >= part.Lo && ge[0].Ghost < part.Hi {
+			return fmt.Errorf("ghost endpoint %d inside own range", ge[0].Ghost)
+		}
+		if w.HashOps == 0 {
+			return fmt.Errorf("hash work not counted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceSplit(t *testing.T) {
+	el := gen.RMAT(256, 2048, 47)
+	g := graph.MustBuildCSR(el)
+	c := cluster.New(1, testComm())
+	_, err := c.Run(func(r *cluster.Rank) error {
+		part, _ := Read(r, g)
+		cpu, gpu := DeviceSplit(part, 0.5)
+		if cpu == nil || gpu == nil {
+			return fmt.Errorf("split returned nil part")
+		}
+		if cpu.Hi != gpu.Lo || cpu.Lo != part.Lo || gpu.Hi != part.Hi {
+			return fmt.Errorf("ranges wrong: cpu [%d,%d) gpu [%d,%d)", cpu.Lo, cpu.Hi, gpu.Lo, gpu.Hi)
+		}
+		// Every original edge is in at least one half, cross edges in both.
+		seen := map[int32]int{}
+		for _, e := range cpu.Edges {
+			seen[e.ID]++
+		}
+		for _, e := range gpu.Edges {
+			seen[e.ID]++
+		}
+		for _, e := range part.Edges {
+			if seen[e.ID] < 1 {
+				return fmt.Errorf("edge %d lost in split", e.ID)
+			}
+		}
+		// Degenerate shares return the whole part on one device.
+		c2, g2 := DeviceSplit(part, 0)
+		if c2 != part || g2 != nil {
+			return fmt.Errorf("gpuShare=0 should keep everything on CPU")
+		}
+		c3, g3 := DeviceSplit(part, 1)
+		if c3 != nil || g3 != part {
+			return fmt.Errorf("gpuShare=1 should move everything to GPU")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceSplitBalance(t *testing.T) {
+	el := gen.ErdosRenyi(1000, 20000, 51)
+	g := graph.MustBuildCSR(el)
+	c := cluster.New(1, testComm())
+	_, err := c.Run(func(r *cluster.Rank) error {
+		part, _ := Read(r, g)
+		cpu, gpu := DeviceSplit(part, 0.25)
+		// GPU should hold roughly a quarter of the edges (within 2x).
+		frac := float64(len(gpu.Edges)) / float64(len(part.Edges))
+		if frac < 0.1 || frac > 0.5 {
+			return fmt.Errorf("gpu fraction %f want ~0.25", frac)
+		}
+		if len(cpu.Edges) == 0 {
+			return fmt.Errorf("cpu empty")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

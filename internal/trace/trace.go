@@ -1,0 +1,127 @@
+// Package trace exports the simulated-run accounting (cluster.Report) in
+// machine-readable and human-readable forms: JSON-lines event records for
+// downstream analysis, CSV for spreadsheets, and an aligned text profile
+// with per-rank and per-phase breakdowns — the observability surface a
+// production system would ship with.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mndmst/internal/cluster"
+)
+
+// Record is one JSONL line: either a per-rank summary or a per-rank,
+// per-phase breakdown entry.
+type Record struct {
+	Kind      string  `json:"kind"` // "rank" or "phase"
+	Rank      int     `json:"rank"`
+	Phase     string  `json:"phase,omitempty"`
+	Total     float64 `json:"total_s,omitempty"`
+	Compute   float64 `json:"compute_s"`
+	Comm      float64 `json:"comm_s"`
+	BytesSent int64   `json:"bytes_sent"`
+	Msgs      int64   `json:"msgs"`
+}
+
+// WriteJSONL emits one Record per rank plus one per (rank, phase) pair.
+func WriteJSONL(w io.Writer, rep *cluster.Report) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rep.Ranks {
+		if err := enc.Encode(Record{
+			Kind: "rank", Rank: r.Rank,
+			Total: r.Total, Compute: r.Compute, Comm: r.Comm,
+			BytesSent: r.BytesSent, Msgs: r.MsgsSent,
+		}); err != nil {
+			return err
+		}
+		phases := make([]string, 0, len(r.Phases))
+		for name := range r.Phases {
+			phases = append(phases, name)
+		}
+		sort.Strings(phases)
+		for _, name := range phases {
+			p := r.Phases[name]
+			if err := enc.Encode(Record{
+				Kind: "phase", Rank: r.Rank, Phase: name,
+				Compute: p.Compute, Comm: p.Comm,
+				BytesSent: p.BytesSent, Msgs: p.Msgs,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteCSV emits the per-rank, per-phase breakdown as CSV.
+func WriteCSV(w io.Writer, rep *cluster.Report) error {
+	if _, err := fmt.Fprintln(w, "rank,phase,compute_s,comm_s,bytes_sent,msgs"); err != nil {
+		return err
+	}
+	for _, r := range rep.Ranks {
+		phases := make([]string, 0, len(r.Phases))
+		for name := range r.Phases {
+			phases = append(phases, name)
+		}
+		sort.Strings(phases)
+		for _, name := range phases {
+			p := r.Phases[name]
+			if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%d,%d\n",
+				r.Rank, name, p.Compute, p.Comm, p.BytesSent, p.Msgs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Profile renders an aligned text view: per-rank totals with a load-balance
+// summary and the per-phase maxima.
+func Profile(rep *cluster.Report) string {
+	var b strings.Builder
+	exec := rep.ExecutionTime()
+	fmt.Fprintf(&b, "simulated execution: %.6fs (compute max %.6fs, comm max %.6fs)\n",
+		exec, rep.ComputeTime(), rep.CommTime())
+	fmt.Fprintf(&b, "traffic: %d messages, %d bytes\n", rep.TotalMsgs(), rep.TotalBytes())
+
+	// Load balance: busiest vs average total.
+	var sum float64
+	for _, r := range rep.Ranks {
+		sum += r.Total
+	}
+	avg := sum / float64(len(rep.Ranks))
+	if avg > 0 {
+		fmt.Fprintf(&b, "load balance: makespan/avg = %.2f\n", exec/avg)
+	}
+
+	b.WriteString("rank  total(s)    compute(s)  comm(s)     bytes\n")
+	for _, r := range rep.Ranks {
+		fmt.Fprintf(&b, "%4d  %-10.6f  %-10.6f  %-10.6f  %d\n",
+			r.Rank, r.Total, r.Compute, r.Comm, r.BytesSent)
+	}
+	b.WriteString("phase breakdown (max across ranks):\n")
+	for _, name := range rep.PhaseNames() {
+		c, m := rep.PhaseTime(name)
+		fmt.Fprintf(&b, "  %-16s compute %-10.6f comm %-10.6f\n", name, c, m)
+	}
+	return b.String()
+}

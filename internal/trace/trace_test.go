@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mndmst/internal/cluster"
+	"mndmst/internal/cost"
+)
+
+// sampleReport runs a tiny cluster program to get a real report.
+func sampleReport(t *testing.T) *cluster.Report {
+	t.Helper()
+	c := cluster.New(3, cost.CommModel{Latency: 1e-6, Bandwidth: 1e9})
+	rep, err := c.Run(func(r *cluster.Rank) error {
+		r.SetPhase("alpha")
+		r.Compute(0.001 * float64(r.ID()+1))
+		r.SetPhase("beta")
+		if r.ID() == 0 {
+			r.Send(1, 0, make([]byte, 512))
+		}
+		if r.ID() == 1 {
+			r.Recv(0, 0)
+		}
+		r.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankRecs, phaseRecs := 0, 0
+	for _, r := range recs {
+		switch r.Kind {
+		case "rank":
+			rankRecs++
+			if r.Total <= 0 {
+				t.Fatalf("rank record without total: %+v", r)
+			}
+		case "phase":
+			phaseRecs++
+			if r.Phase == "" {
+				t.Fatalf("phase record without name: %+v", r)
+			}
+		default:
+			t.Fatalf("unknown kind %q", r.Kind)
+		}
+	}
+	if rankRecs != 3 {
+		t.Fatalf("rank records=%d", rankRecs)
+	}
+	if phaseRecs < 6 { // at least alpha+beta per rank
+		t.Fatalf("phase records=%d", phaseRecs)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "rank,phase,compute_s,comm_s,bytes_sent,msgs" {
+		t.Fatalf("header=%q", lines[0])
+	}
+	if len(lines) < 7 { // header + ≥2 phases × 3 ranks
+		t.Fatalf("lines=%d", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != 5 {
+			t.Fatalf("malformed row %q", line)
+		}
+	}
+}
+
+func TestProfileRendering(t *testing.T) {
+	rep := sampleReport(t)
+	p := Profile(rep)
+	for _, want := range []string{"simulated execution", "load balance", "alpha", "beta", "rank"} {
+		if !strings.Contains(p, want) {
+			t.Fatalf("profile missing %q:\n%s", want, p)
+		}
+	}
+}

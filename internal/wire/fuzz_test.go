@@ -1,0 +1,35 @@
+package wire
+
+import "testing"
+
+// FuzzTakeSections feeds arbitrary bytes to every decoder; none may panic,
+// and any accepted value must re-encode to a decodable buffer.
+func FuzzTakeSections(f *testing.F) {
+	f.Add(AppendInt32s(nil, []int32{1, -2, 3}))
+	f.Add(AppendUint64s(nil, []uint64{7}))
+	f.Add(AppendWEdges(nil, []WEdge{{U: 1, V: 2, W: 3, ID: 4}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if vals, _, err := TakeInt32s(data); err == nil {
+			round := AppendInt32s(nil, vals)
+			if back, _, err := TakeInt32s(round); err != nil || len(back) != len(vals) {
+				t.Fatalf("int32 round trip: %v", err)
+			}
+		}
+		if vals, _, err := TakeUint64s(data); err == nil {
+			round := AppendUint64s(nil, vals)
+			if back, _, err := TakeUint64s(round); err != nil || len(back) != len(vals) {
+				t.Fatalf("uint64 round trip: %v", err)
+			}
+		}
+		if es, _, err := TakeWEdges(data); err == nil {
+			round := AppendWEdges(nil, es)
+			if back, _, err := TakeWEdges(round); err != nil || len(back) != len(es) {
+				t.Fatalf("edge round trip: %v", err)
+			}
+		}
+		TakeUint64(data)
+	})
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInt32sRoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		buf := AppendInt32s([]byte{0xAA}, vals) // leading junk byte preserved
+		got, rest, err := TakeInt32s(buf[1:])
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64sRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		buf := AppendUint64s(nil, vals)
+		got, rest, err := TakeUint64s(buf)
+		if err != nil || len(rest) != 0 || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWEdgesRoundTrip(t *testing.T) {
+	es := []WEdge{
+		{U: 1, V: 2, W: 12345678901234, ID: 7},
+		{U: -1, V: 0, W: 0, ID: -5},
+	}
+	buf := AppendWEdges(nil, es)
+	got, rest, err := TakeWEdges(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("err=%v rest=%d", err, len(rest))
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestConcatenatedSections(t *testing.T) {
+	buf := AppendInt32s(nil, []int32{1, 2})
+	buf = AppendUint64(buf, 99)
+	buf = AppendWEdges(buf, []WEdge{{U: 3, V: 4, W: 5, ID: 6}})
+	buf = AppendUint64s(buf, []uint64{7})
+
+	ints, buf, err := TakeInt32s(buf)
+	if err != nil || len(ints) != 2 {
+		t.Fatalf("ints=%v err=%v", ints, err)
+	}
+	v, buf, err := TakeUint64(buf)
+	if err != nil || v != 99 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	es, buf, err := TakeWEdges(buf)
+	if err != nil || len(es) != 1 || es[0].W != 5 {
+		t.Fatalf("es=%v err=%v", es, err)
+	}
+	u64s, buf, err := TakeUint64s(buf)
+	if err != nil || len(u64s) != 1 || u64s[0] != 7 || len(buf) != 0 {
+		t.Fatalf("u64s=%v err=%v rest=%d", u64s, err, len(buf))
+	}
+}
+
+func TestTruncatedBuffersRejected(t *testing.T) {
+	full := AppendInt32s(nil, []int32{1, 2, 3})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := TakeInt32s(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	fullE := AppendWEdges(nil, []WEdge{{U: 1, V: 2, W: 3, ID: 4}})
+	if _, _, err := TakeWEdges(fullE[:len(fullE)-1]); err == nil {
+		t.Fatal("truncated edges accepted")
+	}
+	if _, _, err := TakeUint64(nil); err == nil {
+		t.Fatal("empty uint64 accepted")
+	}
+	if _, _, err := TakeUint64s([]byte{1, 2}); err == nil {
+		t.Fatal("short uint64s accepted")
+	}
+}

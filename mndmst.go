@@ -1,0 +1,438 @@
+// Package mndmst is a reproduction of "MND-MST: A Multi-Node Multi-Device
+// Parallel Boruvka's MST Algorithm" (Panja & Vadhiyar, ICPP 2018) as a pure
+// Go library.
+//
+// The package computes minimum spanning forests with the paper's
+// divide-and-conquer algorithm on a simulated distributed-memory machine:
+// the graph is 1D-partitioned across ranks (and, within a rank, across a
+// CPU and a simulated GPU device), each device runs independent Boruvka
+// computations under the border-vertex exception condition, and the partial
+// results are combined by hierarchical ring-based merging. A
+// Pregel+-style BSP baseline, sequential reference algorithms, synthetic
+// workload generators matching the paper's Table 2 graphs, and the full
+// experiment harness for every table and figure live behind the same API.
+//
+// All reported times are deterministic simulated seconds derived from work
+// counters and an α–β network model (see DESIGN.md); the computation
+// itself really runs, in parallel, on the host.
+//
+// Quick start:
+//
+//	g := mndmst.GenerateWebGraph(100_000, 2_000_000, 0.85, 42)
+//	res, err := mndmst.FindMSF(g, mndmst.Options{Nodes: 16})
+//	if err != nil { ... }
+//	fmt.Println(res.TotalWeight, res.SimSeconds)
+package mndmst
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mndmst/internal/boruvka"
+	"mndmst/internal/bsp"
+	"mndmst/internal/cluster"
+	"mndmst/internal/core"
+	"mndmst/internal/cost"
+	"mndmst/internal/gen"
+	"mndmst/internal/graph"
+	"mndmst/internal/hypar"
+	"mndmst/internal/mst"
+	"mndmst/internal/trace"
+	"mndmst/internal/wire"
+)
+
+// Graph is a weighted undirected multigraph. Edge weights are made
+// globally distinct internally, so every Graph has a unique minimum
+// spanning forest.
+type Graph struct {
+	el *graph.EdgeList
+}
+
+// NumVertices reports the vertex count.
+func (g *Graph) NumVertices() int { return int(g.el.N) }
+
+// NumEdges reports the undirected edge count (including any parallel and
+// self edges, which the algorithms ignore or deduplicate).
+func (g *Graph) NumEdges() int { return len(g.el.Edges) }
+
+// Edge describes one undirected edge of a Graph.
+type Edge struct {
+	U, V int32
+	// Weight is the 16-bit input weight; ties between equal weights are
+	// broken internally by edge index.
+	Weight uint16
+}
+
+// NewGraph builds a Graph from explicit edges. Endpoints must lie in
+// [0, n); self loops and parallel edges are allowed.
+func NewGraph(n int32, edges []Edge) (*Graph, error) {
+	el := &graph.EdgeList{N: n, Edges: make([]graph.Edge, len(edges))}
+	if len(edges) > graph.MaxEdges {
+		return nil, fmt.Errorf("mndmst: too many edges (%d > %d)", len(edges), graph.MaxEdges)
+	}
+	for i, e := range edges {
+		el.Edges[i] = graph.Edge{
+			U: e.U, V: e.V, ID: int32(i),
+			W: graph.MakeWeight(e.Weight, int32(i)),
+		}
+	}
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	return &Graph{el: el}, nil
+}
+
+// EdgeAt returns the i-th edge.
+func (g *Graph) EdgeAt(i int) Edge {
+	e := g.el.Edges[i]
+	return Edge{U: e.U, V: e.V, Weight: graph.WeightRand(e.W)}
+}
+
+// Stats summarizes the graph as in the paper's Table 2.
+type Stats struct {
+	Vertices   int
+	Edges      int
+	AvgDegree  float64
+	MaxDegree  int64
+	ApproxDiam int
+	Components int
+}
+
+// ComputeStats gathers graph statistics (BFS-based approximate diameter).
+func (g *Graph) ComputeStats() Stats {
+	st := graph.ComputeStats(graph.MustBuildCSR(g.el))
+	return Stats{
+		Vertices:   int(st.V),
+		Edges:      int(st.E),
+		AvgDegree:  st.AvgDegree,
+		MaxDegree:  st.MaxDegree,
+		ApproxDiam: st.ApproxDiam,
+		Components: st.Components,
+	}
+}
+
+// SaveGraph writes the graph to a binary container file.
+func SaveGraph(path string, g *Graph) error { return graph.SaveEdgeList(path, g.el) }
+
+// LoadGraph reads a graph written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) {
+	el, err := graph.LoadEdgeList(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{el: el}, nil
+}
+
+// --- Generators ---
+
+// GenerateRoadNetwork builds a road_usa-like graph: near-planar, average
+// degree ≈ 2.4, large diameter.
+func GenerateRoadNetwork(n int, seed int64) *Graph {
+	return &Graph{el: gen.RoadNetwork(n, seed)}
+}
+
+// GenerateWebGraph builds a web-crawl-like graph with power-law degrees
+// and the given fraction of short-range (local) links.
+func GenerateWebGraph(n int32, m int, locality float64, seed int64) *Graph {
+	return &Graph{el: gen.WebGraph(n, m, locality, seed)}
+}
+
+// GenerateRMAT builds a Graph500-style R-MAT graph (no locality).
+func GenerateRMAT(n int32, m int, seed int64) *Graph {
+	return &Graph{el: gen.RMAT(n, m, seed)}
+}
+
+// GenerateProfile materializes one of the paper's Table 2 workload
+// analogues ("road_usa", "gsh-2015-tpd", "arabic-2005", "it-2004",
+// "sk-2005", "uk-2007") at the given scale (1.0 = reproduction size,
+// ~1/1000 of the paper's graphs).
+func GenerateProfile(name string, scale float64) (*Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{el: p.Generate(scale)}, nil
+}
+
+// ProfileNames lists the available Table 2 workload profiles in paper
+// order.
+func ProfileNames() []string {
+	names := make([]string, len(gen.Profiles))
+	for i, p := range gen.Profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// --- Machines ---
+
+// Machine identifies a simulated platform from the paper's §5.1.
+type Machine int
+
+// Available machine models.
+const (
+	// AMDCluster is the 16-node AMD Opteron 3380 cluster (8 cores/node,
+	// Ethernet-class network, no GPU).
+	AMDCluster Machine = iota
+	// CrayXC40 is the Cray XC40 (12-core Xeon + Tesla K40 per node, Aries
+	// network).
+	CrayXC40
+)
+
+func (m Machine) model() cost.Machine {
+	switch m {
+	case CrayXC40:
+		return cost.CrayXC40()
+	default:
+		return cost.AMDCluster()
+	}
+}
+
+// String names the machine.
+func (m Machine) String() string { return m.model().Name }
+
+// --- Running the algorithms ---
+
+// ExceptionCondition selects the indComp exception condition.
+type ExceptionCondition int
+
+// Exception conditions of the HyPar API (§4.1.2).
+const (
+	// BorderVertex is EXCPT_BORDER_VERTEX, the Algorithm 1 default: a
+	// component whose lightest edge leaves the partition stops expanding.
+	BorderVertex ExceptionCondition = iota
+	// BorderEdge is EXCPT_BORDER_EDGE: components touching the partition
+	// border never expand (more conservative).
+	BorderEdge
+)
+
+// Options configures a FindMSF run. The zero value runs on one AMD-cluster
+// node, CPU only, with the paper's default tunables.
+type Options struct {
+	// Nodes is the number of simulated cluster nodes (default 1).
+	Nodes int
+	// Machine selects the platform model (default AMDCluster).
+	Machine Machine
+	// UseGPU enables the per-node CPU+GPU split (requires a machine with
+	// an accelerator, i.e. CrayXC40).
+	UseGPU bool
+	// GPUsPerNode sets the accelerator count per node when UseGPU is set
+	// (0 means 1).
+	GPUsPerNode int
+	// GroupSize is the hierarchical-merging group size (default 4).
+	GroupSize int
+	// Exception selects the indComp exception condition.
+	Exception ExceptionCondition
+	// DiminishingTermination enables the §4.3.2 early-stop strategy.
+	DiminishingTermination bool
+	// TopologyDriven disables the data-driven worklists (ablation).
+	TopologyDriven bool
+	// Contraction enables between-round graph contraction in the device
+	// kernels.
+	Contraction bool
+	// GPUShare overrides the measured CPU:GPU ratio (0 = estimate it).
+	GPUShare float64
+	// NodeSpeeds optionally gives per-node relative throughput factors
+	// for a heterogeneous cluster (length must equal Nodes; nil = the
+	// paper's homogeneous assumption). The partitioner gives faster nodes
+	// proportionally more work.
+	NodeSpeeds []float64
+}
+
+func (o Options) config() hypar.Config {
+	cfg := hypar.DefaultConfig()
+	if o.GroupSize > 0 {
+		cfg.GroupSize = o.GroupSize
+	}
+	if o.Exception == BorderEdge {
+		cfg.Excpt = boruvka.ExcptBorderEdge
+	}
+	cfg.DiminishingTermination = o.DiminishingTermination
+	cfg.DataDriven = !o.TopologyDriven
+	cfg.Contract = o.Contraction
+	cfg.GPUShare = o.GPUShare
+	cfg.GPUsPerNode = o.GPUsPerNode
+	return cfg
+}
+
+func (o Options) nodes() int {
+	if o.Nodes < 1 {
+		return 1
+	}
+	return o.Nodes
+}
+
+// PhaseTime is the per-phase time split of a run.
+type PhaseTime struct {
+	Phase   string
+	Compute float64
+	Comm    float64
+}
+
+// Result describes a computed minimum spanning forest and the simulated
+// execution metrics of the run that produced it.
+type Result struct {
+	// EdgeIDs are the indices (into the input edge list) of the forest
+	// edges, ascending.
+	EdgeIDs []int32
+	// TotalWeight is the sum of the packed distinct weights — comparable
+	// across algorithms on the same Graph.
+	TotalWeight uint64
+	// Components is the number of connected components spanned.
+	Components int
+	// SimSeconds is the simulated makespan of the run.
+	SimSeconds float64
+	// CommSeconds is the maximum per-rank communication time.
+	CommSeconds float64
+	// ComputeSeconds is the maximum per-rank compute time.
+	ComputeSeconds float64
+	// BytesSent and MessagesSent total across all ranks.
+	BytesSent    int64
+	MessagesSent int64
+	// Phases is the per-phase breakdown (max across ranks).
+	Phases []PhaseTime
+	// Trace gives access to the full per-rank accounting of the run (nil
+	// for sequential results).
+	Trace *RunTrace
+}
+
+// RunTrace exposes the per-rank simulated-run accounting in
+// machine-readable (JSONL, CSV) and human-readable (Profile) forms.
+type RunTrace struct {
+	rep *cluster.Report
+}
+
+// WriteJSONL emits one JSON record per rank and per (rank, phase) pair.
+func (t *RunTrace) WriteJSONL(w io.Writer) error { return trace.WriteJSONL(w, t.rep) }
+
+// WriteCSV emits the per-rank, per-phase breakdown as CSV.
+func (t *RunTrace) WriteCSV(w io.Writer) error { return trace.WriteCSV(w, t.rep) }
+
+// Profile renders an aligned text view with a load-balance summary.
+func (t *RunTrace) Profile() string { return trace.Profile(t.rep) }
+
+func resultFromForest(f *mst.Forest, rep *cluster.Report) *Result {
+	res := &Result{
+		EdgeIDs:        f.EdgeIDs,
+		TotalWeight:    f.TotalWeight,
+		Components:     f.Components,
+		SimSeconds:     rep.ExecutionTime(),
+		CommSeconds:    rep.CommTime(),
+		ComputeSeconds: rep.ComputeTime(),
+		BytesSent:      rep.TotalBytes(),
+		MessagesSent:   rep.TotalMsgs(),
+	}
+	for _, name := range rep.PhaseNames() {
+		c, m := rep.PhaseTime(name)
+		res.Phases = append(res.Phases, PhaseTime{Phase: name, Compute: c, Comm: m})
+	}
+	res.Trace = &RunTrace{rep: rep}
+	return res
+}
+
+// FindMSF computes the minimum spanning forest of g with the MND-MST
+// algorithm under the given options.
+func FindMSF(g *Graph, opts Options) (*Result, error) {
+	machine := opts.Machine.model()
+	if len(opts.NodeSpeeds) > 0 {
+		if len(opts.NodeSpeeds) != opts.nodes() {
+			return nil, fmt.Errorf("mndmst: NodeSpeeds has %d entries for %d nodes", len(opts.NodeSpeeds), opts.nodes())
+		}
+		machine.NodeSpeeds = opts.NodeSpeeds
+	}
+	res, err := core.Run(g.el, opts.nodes(), machine, opts.config(), opts.UseGPU)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromForest(res.Forest, res.Report), nil
+}
+
+// FindMSFBSP computes the same forest with the Pregel+-style BSP baseline
+// (CPU only).
+func FindMSFBSP(g *Graph, opts Options) (*Result, error) {
+	res, err := bsp.Run(g.el, opts.nodes(), opts.Machine.model())
+	if err != nil {
+		return nil, err
+	}
+	return resultFromForest(res.Forest, res.Report), nil
+}
+
+// FindMSFSequential computes the forest with sequential Kruskal — the
+// ground truth every parallel configuration must match exactly.
+func FindMSFSequential(g *Graph) *Result {
+	f := mst.Kruskal(g.el)
+	return &Result{
+		EdgeIDs:     f.EdgeIDs,
+		TotalWeight: f.TotalWeight,
+		Components:  f.Components,
+	}
+}
+
+// Verify checks that res is exactly the minimum spanning forest of g.
+func Verify(g *Graph, res *Result) error {
+	f := &mst.Forest{EdgeIDs: res.EdgeIDs, TotalWeight: res.TotalWeight, Components: res.Components}
+	return mst.VerifyForest(g.el, f)
+}
+
+// FindMSFShared computes the minimum spanning forest on a single shared-
+// memory machine using the parallel device kernel directly (no cluster, no
+// cost model): the fastest way to an exact forest on the host, and the
+// building block the distributed algorithm runs per device.
+func FindMSFShared(g *Graph) (*Result, error) {
+	ids := make([]int32, g.el.N)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	edges := make([]wire.WEdge, len(g.el.Edges))
+	for i, e := range g.el.Edges {
+		edges[i] = wire.WEdge{U: e.U, V: e.V, W: e.W, ID: e.ID}
+	}
+	l, err := boruvka.NewLocal(ids, edges)
+	if err != nil {
+		return nil, err
+	}
+	res := boruvka.Run(l, boruvka.DefaultOptions())
+	return &Result{
+		EdgeIDs:     res.ChosenIDs,
+		TotalWeight: res.ChosenWeight,
+		Components:  res.Components,
+	}, nil
+}
+
+// LoadTextGraph reads a SNAP-style whitespace edge list ("u v [weight]"
+// per line, '#'/'%' comments). Vertex ids are compacted to a dense range;
+// missing weights are drawn deterministically from seed.
+func LoadTextGraph(path string, seed int64) (*Graph, error) {
+	el, err := graph.LoadTextEdgeList(path, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{el: el}, nil
+}
+
+// SaveTextGraph writes the graph in the SNAP-style text format.
+func SaveTextGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteTextEdgeList(f, g.el); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// GenerateBarabasiAlbert builds a preferential-attachment graph: each new
+// vertex attaches k edges to existing vertices with probability
+// proportional to degree.
+func GenerateBarabasiAlbert(n int32, k int, seed int64) *Graph {
+	return &Graph{el: gen.BarabasiAlbert(n, k, seed)}
+}
+
+// GenerateWattsStrogatz builds a small-world ring lattice (k nearest
+// neighbours, rewired with probability beta).
+func GenerateWattsStrogatz(n int32, k int, beta float64, seed int64) *Graph {
+	return &Graph{el: gen.WattsStrogatz(n, k, beta, seed)}
+}

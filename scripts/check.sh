@@ -1,0 +1,28 @@
+#!/bin/sh
+# Release gate: build, vet, format check, full tests, quick benches.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" "$unformatted"
+    exit 1
+fi
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== race (core packages) =="
+go test -race ./internal/cluster/ ./internal/boruvka/ ./internal/dsu/ ./internal/hashtable/
+
+echo "== benches (smoke) =="
+go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost' -benchtime 1x .
+
+echo "all checks passed"

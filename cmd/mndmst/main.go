@@ -10,16 +10,30 @@
 //	mndmst -input graph.mnd -nodes 8 -machine cray -gpu
 //	mndmst -text edges.txt -nodes 4 -verify
 //	mndmst -profile arabic-2005 -nodes 16 -system bsp
+//	mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify
+//
+// With -launch local:N the process hosts a coordinator, forks N worker
+// copies of itself connected over loopback TCP (one OS process per rank),
+// and prints rank 0's summary — including real wall-clock times next to
+// the simulated ones. Workers recognize themselves by the
+// MNDMST_WORKER_COORD environment variable.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 
 	"mndmst"
 )
+
+// workerCoordEnv tells a forked child which coordinator to join; its
+// presence switches run() into TCP worker mode.
+const workerCoordEnv = "MNDMST_WORKER_COORD"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -49,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		list     = fs.Bool("list", false, "list available profiles and exit")
 		traceOut = fs.String("trace", "", "write per-rank JSONL trace to this file")
 		rankProf = fs.Bool("rankprofile", false, "print the per-rank profile")
+		launch   = fs.String("launch", "", "run as real OS processes: local:N forks N loopback TCP workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +74,30 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, n)
 		}
 		return nil
+	}
+
+	workerCoord := os.Getenv(workerCoordEnv)
+	if *launch != "" {
+		if workerCoord != "" {
+			return fmt.Errorf("-launch inside a worker process")
+		}
+		if *system != "mnd" || *app != "" {
+			return fmt.Errorf("-launch supports only -system mnd without -app")
+		}
+		// Children rerun this binary with exactly the flags the user set
+		// (minus -launch); the coordinator address travels via environment.
+		var childArgs []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "launch" {
+				return
+			}
+			childArgs = append(childArgs, "-"+f.Name+"="+f.Value.String())
+		})
+		return launchLocal(out, *launch, childArgs)
+	}
+	worker := workerCoord != ""
+	if worker && (*system != "mnd" || *app != "") {
+		return fmt.Errorf("multi-process mode supports only -system mnd without -app")
 	}
 
 	var g *mndmst.Graph
@@ -74,7 +113,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if !worker {
+		fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	}
 
 	opts := mndmst.Options{
 		Nodes:       *nodes,
@@ -89,6 +130,10 @@ func run(args []string, out io.Writer) error {
 		opts.Machine = mndmst.AMDCluster
 	default:
 		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	if worker {
+		opts.Transport = mndmst.TransportTCP
+		opts.Cluster = &mndmst.ClusterConfig{Coordinator: workerCoord}
 	}
 
 	if *app != "" {
@@ -109,14 +154,28 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if worker && !res.Root {
+		return nil // non-root workers compute silently
+	}
+	if worker {
+		fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	}
 
 	fmt.Fprintf(out, "forest: %d edges, %d components, total weight %d\n",
 		len(res.EdgeIDs), res.Components, res.TotalWeight)
 	if *system != "seq" {
 		fmt.Fprintf(out, "simulated: exec %.4fs  compute %.4fs  comm %.4fs  (%d msgs, %d bytes)\n",
 			res.SimSeconds, res.ComputeSeconds, res.CommSeconds, res.MessagesSent, res.BytesSent)
+		if res.WallSeconds > 0 {
+			fmt.Fprintf(out, "real: %.4fs wall (max across ranks)\n", res.WallSeconds)
+		}
 		for _, ph := range res.Phases {
-			fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs\n", ph.Phase, ph.Compute, ph.Comm)
+			if res.WallSeconds > 0 {
+				fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs  wall %.4fs\n",
+					ph.Phase, ph.Compute, ph.Comm, ph.Wall)
+			} else {
+				fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs\n", ph.Phase, ph.Compute, ph.Comm)
+			}
 		}
 	}
 	if res.Trace != nil {
@@ -143,6 +202,69 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("verification FAILED: %w", err)
 		}
 		fmt.Fprintln(out, "verified: exact minimum spanning forest")
+	}
+	return nil
+}
+
+// launchLocal hosts a coordinator on an ephemeral loopback port, forks N
+// copies of this binary as TCP workers, and relays their output. Only rank
+// 0 prints a summary, so the combined output reads like a single run —
+// with real wall-clock columns added.
+func launchLocal(out io.Writer, spec string, childArgs []string) error {
+	var n int
+	if _, err := fmt.Sscanf(spec, "local:%d", &n); err != nil || n < 1 {
+		return fmt.Errorf("bad -launch %q (want local:N with N >= 1)", spec)
+	}
+	coord, err := mndmst.StartCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		return fmt.Errorf("start coordinator: %w", err)
+	}
+	defer coord.Close()
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate own binary: %w", err)
+	}
+	fmt.Fprintf(out, "launch: %d workers via coordinator %s\n", n, coord.Addr())
+
+	cmds := make([]*exec.Cmd, n)
+	bufs := make([]bytes.Buffer, n)
+	for i := range cmds {
+		cmd := exec.Command(exe, childArgs...)
+		cmd.Env = append(os.Environ(), workerCoordEnv+"="+coord.Addr())
+		cmd.Stdout = &bufs[i]
+		cmd.Stderr = &bufs[i]
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return fmt.Errorf("start worker %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	if err := coord.Wait(); err != nil {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+		return fmt.Errorf("rendezvous: %w", err)
+	}
+	var errs []error
+	for i, c := range cmds {
+		if err := c.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("worker %d: %w (output: %s)",
+				i, err, bytes.TrimSpace(bufs[i].Bytes())))
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	// Exactly one worker (rank 0) printed the summary; relay everything in
+	// start order, which drops nothing and keeps ordering deterministic.
+	for i := range bufs {
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

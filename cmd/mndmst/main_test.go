@@ -1,11 +1,92 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain lets the test binary double as a -launch worker: launchLocal
+// re-execs os.Executable(), which under `go test` is this binary. Worker
+// children are recognized by the coordinator env var before the testing
+// framework parses any flags.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerCoordEnv) != "" {
+		if err := run(os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mndmst:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestLaunchLocalForksWorkers(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-launch", "local:3", "-profile", "road_usa", "-scale", "0.03", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"launch: 3 workers via coordinator",
+		"graph:", "forest:", "simulated:",
+		"real:", "wall", // multi-process runs report real elapsed time
+		"verified: exact minimum spanning forest",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Exactly one worker (rank 0) prints the summary.
+	if got := strings.Count(out.String(), "forest:"); got != 1 {
+		t.Fatalf("%d forest lines (want 1):\n%s", got, out.String())
+	}
+}
+
+func TestLaunchLocalMatchesInProcessForest(t *testing.T) {
+	args := []string{"-profile", "arabic-2005", "-scale", "0.05"}
+	var inproc strings.Builder
+	if err := run(append([]string{"-nodes", "4"}, args...), &inproc); err != nil {
+		t.Fatal(err)
+	}
+	var tcp strings.Builder
+	if err := run(append([]string{"-launch", "local:4"}, args...), &tcp); err != nil {
+		t.Fatal(err)
+	}
+	pick := func(s, prefix string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+		}
+		return ""
+	}
+	forestIn, forestTCP := pick(inproc.String(), "forest:"), pick(tcp.String(), "forest:")
+	if forestIn == "" || forestIn != forestTCP {
+		t.Fatalf("forest lines diverge:\n  in-process: %s\n  tcp:        %s", forestIn, forestTCP)
+	}
+	simIn, simTCP := pick(inproc.String(), "simulated:"), pick(tcp.String(), "simulated:")
+	if simIn == "" || simIn != simTCP {
+		t.Fatalf("simulated lines diverge:\n  in-process: %s\n  tcp:        %s", simIn, simTCP)
+	}
+}
+
+func TestLaunchRejectsBadSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-launch", "local:0"},
+		{"-launch", "local:-2"},
+		{"-launch", "slurm:4"},
+		{"-launch", "local:2", "-system", "bsp"},
+		{"-launch", "local:2", "-app", "bfs"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
 
 func TestRunList(t *testing.T) {
 	var out strings.Builder

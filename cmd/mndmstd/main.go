@@ -1,0 +1,160 @@
+// Command mndmstd is the MND-MST worker daemon: one OS process per rank of
+// a real multi-process cluster connected over TCP. Every worker is started
+// with the identical graph flags (each regenerates or loads the same graph
+// deterministically — the input is never shipped over the network) and
+// joins the cluster through a rendezvous coordinator that assigns rank IDs
+// and distributes the peer address table.
+//
+// Start a 4-rank cluster on one or more machines:
+//
+//	host0$ mndmstd -lead -ranks 4 -profile arabic-2005 -scale 0.1
+//	coordinator listening on 192.0.2.10:9000
+//	host1$ mndmstd -coordinator 192.0.2.10:9000 -profile arabic-2005 -scale 0.1
+//	host2$ mndmstd -coordinator 192.0.2.10:9000 -profile arabic-2005 -scale 0.1
+//	host3$ mndmstd -coordinator 192.0.2.10:9000 -profile arabic-2005 -scale 0.1
+//
+// The -lead worker hosts the coordinator and participates as a normal
+// rank. Whichever worker is assigned rank 0 prints the forest summary with
+// simulated and real wall-clock times; the others exit silently on
+// success. A dead peer is detected by heartbeat timeout and surfaces as a
+// descriptive error on every surviving rank instead of a hang.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mndmst"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mndmstd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mndmstd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator address to join (host:port)")
+		lead        = fs.Bool("lead", false, "host the coordinator in this process (and join as a worker)")
+		ranks       = fs.Int("ranks", 4, "cluster size when -lead is set")
+		coordAddr   = fs.String("coordinator-listen", "127.0.0.1:0", "coordinator listen address when -lead is set")
+		listen      = fs.String("listen", "", "peer listen address (default 127.0.0.1:0)")
+		dialTO      = fs.Duration("dial-timeout", 0, "coordinator/peer dial timeout (default 10s)")
+		heartbeat   = fs.Duration("heartbeat", 0, "idle-link keepalive period (default 500ms)")
+		peerTO      = fs.Duration("peer-timeout", 0, "silence window before a peer is declared dead (default 5s)")
+
+		input    = fs.String("input", "", "binary graph file written by graphgen (overrides -profile)")
+		text     = fs.String("text", "", "SNAP-style text edge list (overrides -profile)")
+		profile  = fs.String("profile", "arabic-2005", "workload profile")
+		scale    = fs.Float64("scale", 1.0, "profile scale (1.0 = reproduction size)")
+		seed     = fs.Int64("seed", 1, "weight seed for text inputs without weights")
+		machine  = fs.String("machine", "amd", "platform model: amd | cray")
+		useGPU   = fs.Bool("gpu", false, "enable the per-node CPU+GPU split (cray only)")
+		gpus     = fs.Int("gpus", 1, "accelerators per node when -gpu is set")
+		group    = fs.Int("group", 4, "hierarchical merging group size")
+		verify   = fs.Bool("verify", false, "rank 0 cross-checks the forest against sequential Kruskal")
+		rankProf = fs.Bool("rankprofile", false, "rank 0 prints the gathered per-rank profile")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := mndmst.ClusterConfig{
+		Coordinator:       *coordinator,
+		Listen:            *listen,
+		DialTimeout:       *dialTO,
+		HeartbeatInterval: *heartbeat,
+		PeerTimeout:       *peerTO,
+	}
+	var coord *mndmst.Coordinator
+	if *lead {
+		if *coordinator != "" {
+			return fmt.Errorf("-lead and -coordinator are mutually exclusive")
+		}
+		if *ranks < 1 {
+			return fmt.Errorf("-ranks must be >= 1")
+		}
+		var err error
+		coord, err = mndmst.StartCoordinator(*coordAddr, *ranks)
+		if err != nil {
+			return fmt.Errorf("start coordinator: %w", err)
+		}
+		defer coord.Close()
+		fmt.Fprintf(out, "coordinator listening on %s\n", coord.Addr())
+		cfg.Coordinator = coord.Addr()
+	}
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("need -coordinator host:port (or -lead)")
+	}
+
+	var g *mndmst.Graph
+	var err error
+	switch {
+	case *input != "":
+		g, err = mndmst.LoadGraph(*input)
+	case *text != "":
+		g, err = mndmst.LoadTextGraph(*text, *seed)
+	default:
+		g, err = mndmst.GenerateProfile(*profile, *scale)
+	}
+	if err != nil {
+		return err
+	}
+
+	opts := mndmst.Options{
+		UseGPU:      *useGPU,
+		GPUsPerNode: *gpus,
+		GroupSize:   *group,
+	}
+	switch *machine {
+	case "cray":
+		opts.Machine = mndmst.CrayXC40
+	case "amd":
+		opts.Machine = mndmst.AMDCluster
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+
+	start := time.Now()
+	res, err := mndmst.FindMSFDistributed(g, opts, cfg)
+	if err != nil {
+		return err
+	}
+	if coord != nil {
+		if err := coord.Wait(); err != nil {
+			return fmt.Errorf("rendezvous: %w", err)
+		}
+	}
+	if !res.Root {
+		return nil // non-root ranks exit silently
+	}
+
+	fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Fprintf(out, "forest: %d edges, %d components, total weight %d\n",
+		len(res.EdgeIDs), res.Components, res.TotalWeight)
+	fmt.Fprintf(out, "simulated: exec %.4fs  compute %.4fs  comm %.4fs  (%d msgs, %d bytes)\n",
+		res.SimSeconds, res.ComputeSeconds, res.CommSeconds, res.MessagesSent, res.BytesSent)
+	fmt.Fprintf(out, "real: %.4fs wall (max across ranks; this process %.4fs)\n",
+		res.WallSeconds, time.Since(start).Seconds())
+	for _, ph := range res.Phases {
+		fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs  wall %.4fs\n",
+			ph.Phase, ph.Compute, ph.Comm, ph.Wall)
+	}
+	if *rankProf {
+		fmt.Fprint(out, res.Trace.Profile())
+	}
+	if *verify {
+		if err := mndmst.Verify(g, res); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Fprintln(out, "verified: exact minimum spanning forest")
+	}
+	return nil
+}

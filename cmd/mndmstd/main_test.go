@@ -1,0 +1,100 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeLoopbackAddr reserves an ephemeral port and releases it for the
+// daemon to claim — a tiny race tests accept for the convenience of a
+// known coordinator address.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestLeadSingleRank(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-lead", "-ranks", "1",
+		"-profile", "road_usa", "-scale", "0.02", "-verify",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"coordinator listening on", "forest:", "simulated:", "real:", "verified: exact"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLeadAndJoiningWorker(t *testing.T) {
+	addr := freeLoopbackAddr(t)
+	graphArgs := []string{"-profile", "road_usa", "-scale", "0.03"}
+
+	var leadOut, workOut strings.Builder
+	var leadErr, workErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leadErr = run(append([]string{
+			"-lead", "-ranks", "2", "-coordinator-listen", addr, "-verify", "-rankprofile",
+		}, graphArgs...), &leadOut)
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(100 * time.Millisecond) // let the lead bind its port
+		workErr = run(append([]string{
+			"-coordinator", addr, "-verify", "-rankprofile",
+		}, graphArgs...), &workOut)
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("two-rank daemon run deadlocked")
+	}
+	if leadErr != nil {
+		t.Fatalf("lead: %v\n%s", leadErr, leadOut.String())
+	}
+	if workErr != nil {
+		t.Fatalf("worker: %v\n%s", workErr, workOut.String())
+	}
+	combined := leadOut.String() + workOut.String()
+	// Exactly one of the two processes is rank 0 and prints the summary.
+	if got := strings.Count(combined, "forest:"); got != 1 {
+		t.Fatalf("%d forest lines (want 1):\nlead:\n%s\nworker:\n%s", got, leadOut.String(), workOut.String())
+	}
+	for _, want := range []string{"real:", "wall", "load balance", "verified: exact"} {
+		if !strings.Contains(combined, want) {
+			t.Fatalf("output missing %q:\nlead:\n%s\nworker:\n%s", want, leadOut.String(), workOut.String())
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                       // neither -coordinator nor -lead
+		{"-lead", "-coordinator", "127.0.0.1:1"}, // mutually exclusive
+		{"-lead", "-ranks", "0"},
+		{"-coordinator", "127.0.0.1:1", "-machine", "vax"},
+		{"-badflag"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}

@@ -12,64 +12,134 @@
 // clock readings are deterministic — independent of the Go scheduler —
 // as long as the simulated program itself is deterministic (receives name
 // their source rank explicitly; there is no wildcard receive).
+//
+// Delivery is pluggable (internal/transport): the default in-process
+// backend runs every rank as a goroutine in one address space, while
+// NewDistributed attaches one OS process per rank over a real network
+// transport. The rank program and its virtual clocks are identical either
+// way; a distributed run additionally records real wall-clock time per
+// phase.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mndmst/internal/cost"
+	"mndmst/internal/transport"
 )
 
 // Cluster is a simulated machine of P ranks sharing a communication model.
+// In the default in-process mode it hosts all P ranks; in distributed mode
+// it hosts exactly one rank of a P-process cluster.
 type Cluster struct {
 	p    int
 	comm cost.CommModel
-	// mail[dst][src] holds messages from src to dst.
-	mail [][]*mailbox
-	rv   *rendezvous
+	// local lists the rank ids this Cluster executes; eps[i] is the
+	// transport endpoint of local[i].
+	local []int
+	eps   []transport.Transport
+	coll  collectiveEngine
+	wall  bool // record real wall-clock per phase (distributed mode)
 }
 
-// New creates a cluster of p ranks with the given network model.
+// New creates an in-process cluster of p ranks with the given network
+// model: every rank is a goroutine, delivery is the in-memory transport,
+// and collectives resolve at a shared rendezvous.
 func New(p int, comm cost.CommModel) *Cluster {
 	if p < 1 {
 		panic(fmt.Sprintf("cluster: invalid rank count %d", p))
 	}
-	c := &Cluster{p: p, comm: comm, rv: newRendezvous(p)}
-	c.mail = make([][]*mailbox, p)
-	for d := range c.mail {
-		c.mail[d] = make([]*mailbox, p)
-		for s := range c.mail[d] {
-			c.mail[d][s] = newMailbox()
-		}
+	mems := transport.NewMem(p)
+	c := &Cluster{p: p, comm: comm, coll: newRendezvous(p)}
+	c.local = make([]int, p)
+	c.eps = make([]transport.Transport, p)
+	for i := 0; i < p; i++ {
+		c.local[i] = i
+		c.eps[i] = mems[i]
 	}
 	return c
+}
+
+// NewDistributed creates the local member of a multi-process cluster: ep is
+// this process's endpoint of a P-rank transport (e.g. the TCP backend), and
+// Run executes the rank program for that one rank. Collectives run as
+// point-to-point algorithms over the transport and resolve to the same
+// synchronized virtual clocks as the in-process rendezvous, so simulated
+// times agree across backends. Wall-clock phase timing is enabled.
+func NewDistributed(ep transport.Transport, comm cost.CommModel) *Cluster {
+	return &Cluster{
+		p:     ep.P(),
+		comm:  comm,
+		local: []int{ep.Rank()},
+		eps:   []transport.Transport{ep},
+		coll:  p2pCollectives{},
+		wall:  true,
+	}
 }
 
 // P reports the number of ranks.
 func (c *Cluster) P() int { return c.p }
 
-// Run executes fn on every rank concurrently and returns the per-rank
-// timing report. If any rank returns an error, Run returns the first one
-// (by rank order) alongside the report gathered so far.
+// LocalRanks reports the rank ids this Cluster executes (all of them
+// in-process; exactly one in distributed mode).
+func (c *Cluster) LocalRanks() []int { return c.local }
+
+// IsLocal reports whether rank id runs in this process.
+func (c *Cluster) IsLocal(id int) bool {
+	for _, r := range c.local {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// commFailure carries a transport-level error out of a rank's deep call
+// stack. Rank methods keep their error-free signatures (the SPMD program
+// reads like MPI code); Run converts the failure into that rank's error.
+type commFailure struct{ err error }
+
+// Run executes fn on every local rank concurrently and returns the
+// per-rank timing report alongside the aggregation (errors.Join) of every
+// failed rank's error — a real-transport peer death on rank 3 is never
+// masked by a cascade error on rank 0.
 func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
-	ranks := make([]*Rank, c.p)
-	errs := make([]error, c.p)
+	n := len(c.local)
+	ranks := make([]*Rank, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	wg.Add(c.p)
-	for i := 0; i < c.p; i++ {
-		ranks[i] = &Rank{id: i, c: c, phases: make(map[string]*PhaseStats)}
-		go func(r *Rank) {
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		ranks[i] = &Rank{id: c.local[i], c: c, ep: c.eps[i], phases: make(map[string]*PhaseStats)}
+		go func(slot int, r *Rank) {
 			defer wg.Done()
-			errs[r.id] = fn(r)
-		}(ranks[i])
+			defer func() {
+				if e := recover(); e != nil {
+					cf, ok := e.(commFailure)
+					if !ok {
+						panic(e) // protocol violations keep panicking
+					}
+					errs[slot] = cf.err
+				}
+			}()
+			defer r.finishWall()
+			r.startWall()
+			errs[slot] = fn(r)
+		}(i, ranks[i])
 	}
 	wg.Wait()
 	rep := buildReport(ranks)
+	var failed []error
 	for i, err := range errs {
 		if err != nil {
-			return rep, fmt.Errorf("cluster: rank %d: %w", i, err)
+			failed = append(failed, fmt.Errorf("cluster: rank %d: %w", c.local[i], err))
 		}
+	}
+	if len(failed) > 0 {
+		return rep, errors.Join(failed...)
 	}
 	return rep, nil
 }
@@ -79,6 +149,7 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
 type Rank struct {
 	id int
 	c  *Cluster
+	ep transport.Transport
 
 	now     float64 // virtual clock, seconds
 	compute float64
@@ -89,6 +160,12 @@ type Rank struct {
 
 	phase  string
 	phases map[string]*PhaseStats
+
+	// wallMark is the real-clock start of the current phase; wallTotal
+	// accumulates the rank's real runtime (distributed mode only).
+	wallMark  time.Time
+	wallStart time.Time
+	wallTotal float64
 
 	// linkBusyUntil tracks the receiver link occupancy when the comm
 	// model serializes ingress.
@@ -112,8 +189,42 @@ func (r *Rank) ComputeTime() float64 { return r.compute }
 func (r *Rank) CommTime() float64 { return r.comm }
 
 // SetPhase labels subsequent time charges with the given phase name for the
-// phase-breakdown reports (Figure 7).
-func (r *Rank) SetPhase(name string) { r.phase = name }
+// phase-breakdown reports (Figure 7). In distributed mode it also closes
+// the previous phase's real wall-clock interval.
+func (r *Rank) SetPhase(name string) {
+	if r.c.wall {
+		now := time.Now()
+		// Time before the first label counts toward the rank's total but
+		// not toward any phase, so reports don't grow a near-zero
+		// "unlabeled" row that the in-process reports would not have.
+		if !r.wallMark.IsZero() && r.phase != "" {
+			r.phaseStats().Wall += now.Sub(r.wallMark).Seconds()
+		}
+		r.wallMark = now
+	}
+	r.phase = name
+}
+
+// startWall opens the rank's real-clock measurement window.
+func (r *Rank) startWall() {
+	if r.c.wall {
+		r.wallStart = time.Now()
+		r.wallMark = r.wallStart
+	}
+}
+
+// finishWall closes the current phase's and the rank's wall intervals.
+func (r *Rank) finishWall() {
+	if !r.c.wall || r.wallStart.IsZero() {
+		return
+	}
+	now := time.Now()
+	if !r.wallMark.IsZero() && r.phase != "" {
+		r.phaseStats().Wall += now.Sub(r.wallMark).Seconds()
+	}
+	r.wallMark = time.Time{}
+	r.wallTotal = now.Sub(r.wallStart).Seconds()
+}
 
 func (r *Rank) phaseStats() *PhaseStats {
 	name := r.phase
@@ -152,9 +263,11 @@ func (r *Rank) chargeCommUntil(t float64) {
 
 // Send transfers data to rank dst with the given tag. The sender is charged
 // the full α–β transfer cost (a blocking send); the message arrives at the
-// sender's post-send clock. Data is referenced, not copied: the sender must
-// not modify the slice afterwards (ranks are address-space-separate by
-// convention, and all call sites build fresh buffers).
+// sender's post-send clock. Data is referenced, not copied, on the
+// in-process transport: the sender must not modify the slice afterwards
+// (ranks are address-space-separate by convention, and all call sites build
+// fresh buffers). A dead peer on a real transport surfaces as this rank's
+// error from Run.
 func (r *Rank) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= r.c.p {
 		panic(fmt.Sprintf("cluster: send to invalid rank %d", dst))
@@ -168,28 +281,34 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	ps.Msgs++
 	r.bytesSent += int64(len(data))
 	r.msgsSent++
-	r.c.mail[dst][r.id].put(message{tag: tag, data: data, arrival: r.now})
+	if err := r.ep.Send(dst, transport.Message{Tag: int32(tag), Arrival: r.now, Data: data}); err != nil {
+		panic(commFailure{fmt.Errorf("send to rank %d: %w", dst, err)})
+	}
 }
 
 // Recv blocks until the next message from src arrives, checks its tag, and
 // returns its payload. The receiver's clock advances to the message's
 // arrival time if it is later (synchronization wait is booked as
 // communication time). With SerializeIngress, the payload transfer also
-// queues behind other traffic into this rank.
+// queues behind other traffic into this rank. A dead peer on a real
+// transport surfaces as this rank's error from Run instead of a hang.
 func (r *Rank) Recv(src, tag int) []byte {
 	if src < 0 || src >= r.c.p {
 		panic(fmt.Sprintf("cluster: recv from invalid rank %d", src))
 	}
-	msg := r.c.mail[r.id][src].take()
-	if msg.tag != tag {
-		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", r.id, tag, src, msg.tag))
+	msg, err := r.ep.Recv(src)
+	if err != nil {
+		panic(commFailure{fmt.Errorf("recv from rank %d: %w", src, err)})
 	}
-	arrival := msg.arrival
+	if int(msg.Tag) != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", r.id, tag, src, msg.Tag))
+	}
+	arrival := msg.Arrival
 	if r.c.comm.SerializeIngress {
 		// The sender's clock already covers α + transfer on its side;
 		// the receiver link replays the transfer portion serially.
-		transfer := r.c.comm.Seconds(int64(len(msg.data))) - r.c.comm.Latency
-		start := msg.arrival - transfer // when the payload hits our link
+		transfer := r.c.comm.Seconds(int64(len(msg.Data))) - r.c.comm.Latency
+		start := msg.Arrival - transfer // when the payload hits our link
 		if start < r.linkBusyUntil {
 			start = r.linkBusyUntil
 		}
@@ -197,7 +316,28 @@ func (r *Rank) Recv(src, tag int) []byte {
 		r.linkBusyUntil = arrival
 	}
 	r.chargeCommUntil(arrival)
-	return msg.data
+	return msg.Data
+}
+
+// sendCtrl ships a zero-cost control message (collective internals, report
+// gathering) directly over the transport: no α–β charge, no traffic
+// counters — the rendezvous-priced collectives never counted them either.
+func (r *Rank) sendCtrl(dst int, tag int32, data []byte) {
+	if err := r.ep.Send(dst, transport.Message{Tag: tag, Data: data}); err != nil {
+		panic(commFailure{fmt.Errorf("collective send to rank %d: %w", dst, err)})
+	}
+}
+
+// recvCtrl receives a control message with the given tag from src.
+func (r *Rank) recvCtrl(src int, tag int32) []byte {
+	msg, err := r.ep.Recv(src)
+	if err != nil {
+		panic(commFailure{fmt.Errorf("collective recv from rank %d: %w", src, err)})
+	}
+	if msg.Tag != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected control tag %d from %d, got %d", r.id, tag, src, msg.Tag))
+	}
+	return msg.Data
 }
 
 // BytesSent reports the total payload bytes this rank has sent.

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"mndmst/internal/cost"
@@ -32,7 +34,7 @@ func TestRunAllRanksExecute(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesFirstError(t *testing.T) {
+func TestRunAggregatesAllErrors(t *testing.T) {
 	c := New(4, testComm())
 	_, err := c.Run(func(r *Rank) error {
 		if r.ID() >= 2 {
@@ -43,8 +45,25 @@ func TestRunPropagatesFirstError(t *testing.T) {
 	if err == nil {
 		t.Fatal("error lost")
 	}
-	if got := err.Error(); got != "cluster: rank 2: boom 2" {
-		t.Fatalf("err=%q", got)
+	// errors.Join keeps every failed rank visible: a peer death on rank 3
+	// must not be masked by a cascade error on rank 2.
+	want := "cluster: rank 2: boom 2\ncluster: rank 3: boom 3"
+	if got := err.Error(); got != want {
+		t.Fatalf("err=%q want %q", got, want)
+	}
+	if !errors.Is(err, err) { // sanity: joined errors stay inspectable
+		t.Fatal("errors.Is broken")
+	}
+	for _, rank := range []int{2, 3} {
+		var found bool
+		for _, line := range strings.Split(err.Error(), "\n") {
+			if line == fmt.Sprintf("cluster: rank %d: boom %d", rank, rank) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d error missing from %q", rank, err)
+		}
 	}
 }
 
@@ -302,18 +321,18 @@ func TestReportAggregates(t *testing.T) {
 	}
 }
 
-func TestMailboxPending(t *testing.T) {
-	m := newMailbox()
-	m.put(message{tag: 1})
-	m.put(message{tag: 2})
-	if m.pending() != 2 {
-		t.Fatalf("pending=%d", m.pending())
-	}
-	if got := m.take(); got.tag != 1 {
-		t.Fatalf("tag=%d", got.tag)
-	}
-	if m.pending() != 1 {
-		t.Fatalf("pending=%d", m.pending())
+func TestSelfSendRoundTrips(t *testing.T) {
+	c := New(2, testComm())
+	_, err := c.Run(func(r *Rank) error {
+		r.Send(r.ID(), 5, []byte{byte(r.ID())})
+		got := r.Recv(r.ID(), 5)
+		if len(got) != 1 || got[0] != byte(r.ID()) {
+			return fmt.Errorf("self payload %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

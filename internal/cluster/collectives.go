@@ -1,8 +1,12 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
+
+	"mndmst/internal/wire"
 )
 
 // ReduceOp is an elementwise combination for Allreduce.
@@ -32,6 +36,16 @@ func (op ReduceOp) apply(a, b int64) int64 {
 	default:
 		panic(fmt.Sprintf("cluster: unknown reduce op %d", op))
 	}
+}
+
+// collectiveEngine resolves one synchronization round: it returns the
+// maximum virtual clock across all ranks and, for allreduce, the reduced
+// vector. Two implementations exist — the in-process rendezvous (all ranks
+// share the Cluster) and the point-to-point engine distributed clusters run
+// over their transport. Both produce identical results for identical
+// inputs, so simulated times agree across backends.
+type collectiveEngine interface {
+	resolve(r *Rank, vals []int64, op ReduceOp) (float64, []int64)
 }
 
 // rendezvous is a reusable all-rank synchronization point that also carries
@@ -105,10 +119,115 @@ func (rv *rendezvous) sync(now float64, vals []int64, op ReduceOp) (float64, []i
 	return rv.relNow, rv.relAcc
 }
 
+// resolve implements collectiveEngine at the shared rendezvous.
+func (rv *rendezvous) resolve(r *Rank, vals []int64, op ReduceOp) (float64, []int64) {
+	return rv.sync(r.now, vals, op)
+}
+
+// Control tags of the point-to-point collective and report protocols. They
+// sit in their own band, far from the application tags (merge: small
+// positive; composed collectives: around -100).
+const (
+	tagCollectUp   int32 = -9001
+	tagCollectDown int32 = -9002
+	tagReport      int32 = -9003
+)
+
+// p2pCollectives resolves collectives for distributed clusters with a flat
+// gather-to-0/broadcast exchange of control messages over the transport.
+// Control traffic carries no α–β charge and no byte counters — exactly
+// like the rendezvous, whose analytic pricing already covers the
+// collective — so a distributed run's virtual clocks match the in-process
+// run bit for bit.
+type p2pCollectives struct{}
+
+// encodeCollect packs a rank's contribution (or the resolved round):
+// clock, has-values flag, values.
+func encodeCollect(now float64, vals []int64, hasVals bool) []byte {
+	buf := wire.AppendUint64(nil, math.Float64bits(now))
+	flag := uint64(0)
+	if hasVals {
+		flag = 1
+	}
+	buf = wire.AppendUint64(buf, flag)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// decodeCollect unpacks encodeCollect's payload.
+func decodeCollect(buf []byte) (now float64, vals []int64, hasVals bool) {
+	bits, buf, err := wire.TakeUint64(buf)
+	if err != nil {
+		panic(commFailure{fmt.Errorf("collective payload: %w", err)})
+	}
+	flag, buf, err := wire.TakeUint64(buf)
+	if err != nil {
+		panic(commFailure{fmt.Errorf("collective payload: %w", err)})
+	}
+	vs, _, err := wire.TakeUint64s(buf)
+	if err != nil {
+		panic(commFailure{fmt.Errorf("collective payload: %w", err)})
+	}
+	vals = make([]int64, len(vs))
+	for i, v := range vs {
+		vals[i] = int64(v)
+	}
+	return math.Float64frombits(bits), vals, flag == 1
+}
+
+func (p2pCollectives) resolve(r *Rank, vals []int64, op ReduceOp) (float64, []int64) {
+	p := r.c.p
+	hasVals := vals != nil
+	if p == 1 {
+		if !hasVals {
+			return r.now, nil
+		}
+		return r.now, append([]int64(nil), vals...)
+	}
+	if r.id != 0 {
+		r.sendCtrl(0, tagCollectUp, encodeCollect(r.now, vals, hasVals))
+		maxNow, acc, has := decodeCollect(r.recvCtrl(0, tagCollectDown))
+		if !has {
+			return maxNow, nil
+		}
+		return maxNow, acc
+	}
+	maxNow := r.now
+	var acc []int64
+	if hasVals {
+		acc = append([]int64(nil), vals...)
+	}
+	for src := 1; src < p; src++ {
+		now, rv, rHas := decodeCollect(r.recvCtrl(src, tagCollectUp))
+		if now > maxNow {
+			maxNow = now
+		}
+		if rHas != hasVals {
+			panic(fmt.Sprintf("cluster: collective mismatch: rank %d %v values, rank 0 %v", src, rHas, hasVals))
+		}
+		if rHas {
+			if len(rv) != len(acc) {
+				panic(fmt.Sprintf("cluster: allreduce length mismatch %d vs %d", len(rv), len(acc)))
+			}
+			for i, v := range rv {
+				acc[i] = op.apply(acc[i], v)
+			}
+		}
+	}
+	down := encodeCollect(maxNow, acc, hasVals)
+	for dst := 1; dst < p; dst++ {
+		r.sendCtrl(dst, tagCollectDown, down)
+	}
+	return maxNow, acc
+}
+
 // Barrier synchronizes all ranks: every clock advances to the maximum
 // across ranks plus the modeled dissemination-barrier cost.
 func (r *Rank) Barrier() {
-	maxNow, _ := r.c.rv.sync(r.now, nil, OpSum)
+	maxNow, _ := r.c.coll.resolve(r, nil, OpSum)
 	r.chargeCommUntil(maxNow + r.c.comm.BarrierSeconds(r.c.p))
 }
 
@@ -119,7 +238,7 @@ func (r *Rank) Allreduce(vals []int64, op ReduceOp) []int64 {
 	if vals == nil {
 		vals = []int64{}
 	}
-	maxNow, red := r.c.rv.sync(r.now, vals, op)
+	maxNow, red := r.c.coll.resolve(r, vals, op)
 	r.chargeCommUntil(maxNow + r.c.comm.AllreduceSeconds(int64(8*len(vals)), r.c.p))
 	out := make([]int64, len(red))
 	copy(out, red)

@@ -1,6 +1,12 @@
 package cluster
 
-import "sort"
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mndmst/internal/transport"
+)
 
 // PhaseStats accumulates one rank's time and traffic within a named phase.
 type PhaseStats struct {
@@ -8,6 +14,9 @@ type PhaseStats struct {
 	Comm      float64
 	BytesSent int64
 	Msgs      int64
+	// Wall is the real elapsed time spent in the phase; zero unless the
+	// cluster records wall clocks (distributed mode).
+	Wall float64
 }
 
 // RankStats is the final accounting of one rank.
@@ -19,6 +28,9 @@ type RankStats struct {
 	BytesSent int64
 	MsgsSent  int64
 	Phases    map[string]PhaseStats
+	// Wall is the rank's real elapsed runtime; zero unless the cluster
+	// records wall clocks (distributed mode).
+	Wall float64
 }
 
 // Report aggregates the whole run. The simulated execution time of the
@@ -36,13 +48,14 @@ func buildReport(ranks []*Rank) *Report {
 			ph[name] = *p
 		}
 		rep.Ranks[i] = RankStats{
-			Rank:      i,
+			Rank:      r.id,
 			Total:     r.now,
 			Compute:   r.compute,
 			Comm:      r.comm,
 			BytesSent: r.bytesSent,
 			MsgsSent:  r.msgsSent,
 			Phases:    ph,
+			Wall:      r.wallTotal,
 		}
 	}
 	return rep
@@ -130,4 +143,78 @@ func (rep *Report) PhaseTime(name string) (compute, comm float64) {
 		}
 	}
 	return compute, comm
+}
+
+// PhaseWall returns the maximum real wall-clock time any rank spent in the
+// named phase (zero for in-process runs).
+func (rep *Report) PhaseWall(name string) float64 {
+	var wall float64
+	for _, r := range rep.Ranks {
+		if p, ok := r.Phases[name]; ok && p.Wall > wall {
+			wall = p.Wall
+		}
+	}
+	return wall
+}
+
+// WallTime reports the maximum per-rank real runtime (zero for in-process
+// runs).
+func (rep *Report) WallTime() float64 {
+	var m float64
+	for _, r := range rep.Ranks {
+		if r.Wall > m {
+			m = r.Wall
+		}
+	}
+	return m
+}
+
+// HasWall reports whether the report carries real wall-clock measurements.
+func (rep *Report) HasWall() bool {
+	for _, r := range rep.Ranks {
+		if r.Wall > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// GatherReport assembles the full P-rank report at rank 0 of a distributed
+// cluster: every other rank ships its local RankStats over the transport
+// (tagged control traffic, after the timed program has finished) and
+// receives nothing back. Rank 0 returns the merged report; other ranks and
+// in-process clusters return rep unchanged. Must be called after Run, while
+// the transport is still open.
+func (c *Cluster) GatherReport(rep *Report) (*Report, error) {
+	if len(c.local) == c.p {
+		return rep, nil // in-process: already complete
+	}
+	ep := c.eps[0]
+	if ep.Rank() != 0 {
+		payload, err := json.Marshal(rep.Ranks)
+		if err != nil {
+			return rep, fmt.Errorf("cluster: encode report: %w", err)
+		}
+		if err := ep.Send(0, transport.Message{Tag: tagReport, Data: payload}); err != nil {
+			return rep, fmt.Errorf("cluster: ship report to rank 0: %w", err)
+		}
+		return rep, nil
+	}
+	merged := append([]RankStats(nil), rep.Ranks...)
+	for src := 1; src < c.p; src++ {
+		msg, err := ep.Recv(src)
+		if err != nil {
+			return rep, fmt.Errorf("cluster: gather report from rank %d: %w", src, err)
+		}
+		if msg.Tag != tagReport {
+			return rep, fmt.Errorf("cluster: gather report from rank %d: unexpected tag %d", src, msg.Tag)
+		}
+		var rs []RankStats
+		if err := json.Unmarshal(msg.Data, &rs); err != nil {
+			return rep, fmt.Errorf("cluster: decode report from rank %d: %w", src, err)
+		}
+		merged = append(merged, rs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Rank < merged[j].Rank })
+	return &Report{Ranks: merged}, nil
 }

@@ -23,6 +23,7 @@ import (
 	"mndmst/internal/merge"
 	"mndmst/internal/mst"
 	"mndmst/internal/partition"
+	"mndmst/internal/transport"
 	"mndmst/internal/wire"
 )
 
@@ -53,6 +54,22 @@ type Result struct {
 // selects the multi-device (CPU+GPU) mode when the machine has an
 // accelerator; otherwise the run is CPU-only.
 func Run(el *graph.EdgeList, p int, machine cost.Machine, cfg hypar.Config, useGPU bool) (*Result, error) {
+	return run(el, p, nil, machine, cfg, useGPU)
+}
+
+// RunDistributed executes this process's rank of MND-MST over a real
+// transport endpoint (one OS process per rank). Every worker must be given
+// the identical edge list and configuration; the cluster size is the
+// transport's P. On rank 0 the returned Result carries the forest and the
+// full gathered report (simulated clocks plus real wall-clock per phase);
+// other ranks return a Result with a nil Forest and their local report.
+func RunDistributed(el *graph.EdgeList, ep transport.Transport, machine cost.Machine, cfg hypar.Config, useGPU bool) (*Result, error) {
+	return run(el, ep.P(), ep, machine, cfg, useGPU)
+}
+
+// run is the shared driver: ep == nil simulates all p ranks in-process,
+// otherwise only ep's rank executes here.
+func run(el *graph.EdgeList, p int, ep transport.Transport, machine cost.Machine, cfg hypar.Config, useGPU bool) (*Result, error) {
 	if err := el.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,7 +129,12 @@ func Run(el *graph.EdgeList, p int, machine cost.Machine, cfg hypar.Config, useG
 		cfg.GPUShare = share
 	}
 
-	c := cluster.New(p, machine.Comm)
+	var c *cluster.Cluster
+	if ep == nil {
+		c = cluster.New(p, machine.Comm)
+	} else {
+		c = cluster.NewDistributed(ep, machine.Comm)
+	}
 	var forest *mst.Forest
 	iterations := make([]int, p)
 	levels := make([]int, p)
@@ -141,7 +163,13 @@ func Run(el *graph.EdgeList, p int, machine cost.Machine, cfg hypar.Config, useG
 	if err != nil {
 		return nil, err
 	}
-	if forest == nil {
+	// In a distributed run only rank 0 assembles the forest; the full
+	// report (simulated + wall clocks of every rank) is gathered to it over
+	// the still-open transport.
+	if rep, err = c.GatherReport(rep); err != nil {
+		return nil, err
+	}
+	if forest == nil && c.IsLocal(0) {
 		return nil, fmt.Errorf("core: no rank produced the forest")
 	}
 	peak := 0
@@ -150,7 +178,8 @@ func Run(el *graph.EdgeList, p int, machine cost.Machine, cfg hypar.Config, useG
 			peak = pk
 		}
 	}
-	return &Result{Forest: forest, Report: rep, Iterations: iterations[0], Levels: levels[0], PeakEdges: peak}, nil
+	first := c.LocalRanks()[0]
+	return &Result{Forest: forest, Report: rep, Iterations: iterations[first], Levels: levels[first], PeakEdges: peak}, nil
 }
 
 // rankMain carries one rank's state through Algorithm 1.

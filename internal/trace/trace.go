@@ -16,7 +16,9 @@ import (
 )
 
 // Record is one JSONL line: either a per-rank summary or a per-rank,
-// per-phase breakdown entry.
+// per-phase breakdown entry. Wall is the real elapsed time of a
+// multi-process run; it is omitted for in-process simulations, whose
+// records therefore stay byte-identical to the simulated-time-only format.
 type Record struct {
 	Kind      string  `json:"kind"` // "rank" or "phase"
 	Rank      int     `json:"rank"`
@@ -26,6 +28,7 @@ type Record struct {
 	Comm      float64 `json:"comm_s"`
 	BytesSent int64   `json:"bytes_sent"`
 	Msgs      int64   `json:"msgs"`
+	Wall      float64 `json:"wall_s,omitempty"`
 }
 
 // WriteJSONL emits one Record per rank plus one per (rank, phase) pair.
@@ -36,6 +39,7 @@ func WriteJSONL(w io.Writer, rep *cluster.Report) error {
 			Kind: "rank", Rank: r.Rank,
 			Total: r.Total, Compute: r.Compute, Comm: r.Comm,
 			BytesSent: r.BytesSent, Msgs: r.MsgsSent,
+			Wall: r.Wall,
 		}); err != nil {
 			return err
 		}
@@ -50,6 +54,7 @@ func WriteJSONL(w io.Writer, rep *cluster.Report) error {
 				Kind: "phase", Rank: r.Rank, Phase: name,
 				Compute: p.Compute, Comm: p.Comm,
 				BytesSent: p.BytesSent, Msgs: p.Msgs,
+				Wall: p.Wall,
 			}); err != nil {
 				return err
 			}
@@ -95,12 +100,18 @@ func WriteCSV(w io.Writer, rep *cluster.Report) error {
 }
 
 // Profile renders an aligned text view: per-rank totals with a load-balance
-// summary and the per-phase maxima.
+// summary and the per-phase maxima. When the report carries real wall-clock
+// measurements (multi-process runs), a wall column is appended to every
+// line; in-process reports render exactly as before.
 func Profile(rep *cluster.Report) string {
 	var b strings.Builder
 	exec := rep.ExecutionTime()
+	wall := rep.HasWall()
 	fmt.Fprintf(&b, "simulated execution: %.6fs (compute max %.6fs, comm max %.6fs)\n",
 		exec, rep.ComputeTime(), rep.CommTime())
+	if wall {
+		fmt.Fprintf(&b, "real execution: %.6fs wall (max across ranks)\n", rep.WallTime())
+	}
 	fmt.Fprintf(&b, "traffic: %d messages, %d bytes\n", rep.TotalMsgs(), rep.TotalBytes())
 
 	// Load balance: busiest vs average total.
@@ -113,15 +124,29 @@ func Profile(rep *cluster.Report) string {
 		fmt.Fprintf(&b, "load balance: makespan/avg = %.2f\n", exec/avg)
 	}
 
-	b.WriteString("rank  total(s)    compute(s)  comm(s)     bytes\n")
+	if wall {
+		b.WriteString("rank  total(s)    compute(s)  comm(s)     wall(s)     bytes\n")
+	} else {
+		b.WriteString("rank  total(s)    compute(s)  comm(s)     bytes\n")
+	}
 	for _, r := range rep.Ranks {
-		fmt.Fprintf(&b, "%4d  %-10.6f  %-10.6f  %-10.6f  %d\n",
-			r.Rank, r.Total, r.Compute, r.Comm, r.BytesSent)
+		if wall {
+			fmt.Fprintf(&b, "%4d  %-10.6f  %-10.6f  %-10.6f  %-10.6f  %d\n",
+				r.Rank, r.Total, r.Compute, r.Comm, r.Wall, r.BytesSent)
+		} else {
+			fmt.Fprintf(&b, "%4d  %-10.6f  %-10.6f  %-10.6f  %d\n",
+				r.Rank, r.Total, r.Compute, r.Comm, r.BytesSent)
+		}
 	}
 	b.WriteString("phase breakdown (max across ranks):\n")
 	for _, name := range rep.PhaseNames() {
 		c, m := rep.PhaseTime(name)
-		fmt.Fprintf(&b, "  %-16s compute %-10.6f comm %-10.6f\n", name, c, m)
+		if wall {
+			fmt.Fprintf(&b, "  %-16s compute %-10.6f comm %-10.6f wall %-10.6f\n",
+				name, c, m, rep.PhaseWall(name))
+		} else {
+			fmt.Fprintf(&b, "  %-16s compute %-10.6f comm %-10.6f\n", name, c, m)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"mndmst/internal/wire"
+)
+
+// Control-plane frame tags. They live far below the application tag space
+// (merge uses small positive tags, the composed collectives small negative
+// ones) so a desynced stream can never alias them.
+const (
+	tagHello     int32 = -1_000_001 // worker → coordinator: version + listen addr
+	tagAssign    int32 = -1_000_002 // coordinator → worker: rank, p, peer addrs
+	tagIdent     int32 = -1_000_003 // dialing peer → accepting peer: my rank
+	tagHeartbeat int32 = -1_000_004 // keepalive, never enqueued
+)
+
+// protocolVersion guards against mixing incompatible worker builds in one
+// cluster.
+const protocolVersion = 1
+
+// Coordinator is the rendezvous point of a TCP cluster: it accepts exactly
+// P worker connections, assigns rank ids in join order, and sends every
+// worker the full peer address table. After that it is out of the data
+// path entirely — workers talk peer-to-peer.
+type Coordinator struct {
+	ln      net.Listener
+	p       int
+	timeout time.Duration
+}
+
+// NewCoordinator listens on addr (e.g. "127.0.0.1:0") for a cluster of p
+// workers. timeout bounds the whole rendezvous; 0 means a generous default.
+func NewCoordinator(addr string, p int, timeout time.Duration) (*Coordinator, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("transport: coordinator needs p >= 1, got %d", p)
+	}
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln, p: p, timeout: timeout}, nil
+}
+
+// Addr reports the address workers should dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close tears the listener down (aborting an in-progress Serve).
+func (c *Coordinator) Close() error { return c.ln.Close() }
+
+// Serve runs one rendezvous round: accept p workers, assign ranks, send
+// the address table, close. It returns once every worker has its
+// assignment (or the deadline passes).
+func (c *Coordinator) Serve() error {
+	defer c.ln.Close()
+	deadline := time.Now().Add(c.timeout)
+	type joined struct {
+		conn net.Conn
+		addr string
+	}
+	workers := make([]joined, 0, c.p)
+	defer func() {
+		for _, w := range workers {
+			w.conn.Close()
+		}
+	}()
+	if tl, ok := c.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	for len(workers) < c.p {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: coordinator accept (%d/%d workers joined): %w",
+				len(workers), c.p, err)
+		}
+		conn.SetDeadline(deadline)
+		addr, err := readHello(conn)
+		if err != nil {
+			// A stray or broken client must not kill the rendezvous.
+			conn.Close()
+			continue
+		}
+		workers = append(workers, joined{conn: conn, addr: addr})
+	}
+
+	// Assignment: rank = join order. One frame per worker carries its rank,
+	// the cluster size, and every peer's address.
+	addrs := make([][]byte, len(workers))
+	for i, w := range workers {
+		addrs[i] = []byte(w.addr)
+	}
+	for rank, w := range workers {
+		payload := wire.AppendUint64(nil, uint64(rank))
+		payload = wire.AppendUint64(payload, uint64(c.p))
+		for _, a := range addrs {
+			payload = wire.AppendBytes(payload, a)
+		}
+		if err := wire.WriteFrame(w.conn, tagAssign, payload); err != nil {
+			return fmt.Errorf("transport: coordinator assign rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// readHello validates a worker's hello frame and returns its advertised
+// peer-listen address.
+func readHello(conn net.Conn) (string, error) {
+	tag, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return "", err
+	}
+	if tag != tagHello {
+		return "", fmt.Errorf("transport: expected hello frame, got tag %d", tag)
+	}
+	ver, payload, err := wire.TakeUint64(payload)
+	if err != nil {
+		return "", err
+	}
+	if ver != protocolVersion {
+		return "", fmt.Errorf("transport: protocol version %d, want %d", ver, protocolVersion)
+	}
+	addr, _, err := wire.TakeBytes(payload)
+	if err != nil {
+		return "", err
+	}
+	if len(addr) == 0 {
+		return "", fmt.Errorf("transport: empty peer address in hello")
+	}
+	return string(addr), nil
+}

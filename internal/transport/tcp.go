@@ -1,0 +1,423 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"mndmst/internal/wire"
+)
+
+// TCPConfig configures one worker's endpoint of a real multi-process
+// cluster. Only Coordinator is required.
+type TCPConfig struct {
+	// Coordinator is the rendezvous address every worker dials first.
+	Coordinator string
+	// Listen is the address this worker accepts peer connections on
+	// (default "127.0.0.1:0" — loopback, kernel-assigned port). For
+	// multi-host clusters it must name an interface peers can reach.
+	Listen string
+	// Advertise overrides the address peers are told to dial (default:
+	// the bound listen address). Needed when Listen is a wildcard or the
+	// worker sits behind NAT.
+	Advertise string
+	// DialTimeout bounds connection establishment — the coordinator dial,
+	// the rendezvous, and the peer mesh — with exponential-backoff retry
+	// inside the budget (default 10s).
+	DialTimeout time.Duration
+	// SendTimeout is the per-frame write deadline (default 10s).
+	SendTimeout time.Duration
+	// HeartbeatInterval is how often an idle connection proves liveness
+	// (default 500ms). Must be well below PeerTimeout.
+	HeartbeatInterval time.Duration
+	// PeerTimeout is the silence threshold: a peer that has sent neither a
+	// frame nor a heartbeat for this long is declared dead and every
+	// pending Recv from it errors out (default 5s).
+	PeerTimeout time.Duration
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 10 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// TCP is the real-socket Transport endpoint of one rank.
+type TCP struct {
+	rank int
+	p    int
+	cfg  TCPConfig
+	ln   net.Listener
+
+	peers   []*tcpPeer // indexed by rank; peers[rank] == nil for self
+	selfBox *queue
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// tcpPeer is one pooled connection to a remote rank: a single long-lived
+// TCP stream carrying both directions' frames, a reader goroutine feeding
+// the inbox, and a heartbeat goroutine proving liveness.
+type tcpPeer struct {
+	rank  int
+	inbox *queue
+	ready chan struct{} // closed once conn is attached
+
+	mu   sync.Mutex // guards conn writes and err
+	conn net.Conn
+	err  error // sticky death marker
+}
+
+// DialTCP joins a cluster: it listens for peers, registers with the
+// coordinator, receives its rank assignment and the peer address table,
+// and establishes the full connection mesh before returning. The returned
+// endpoint is ready for Send/Recv to every rank.
+func DialTCP(cfg TCPConfig) (*TCP, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("transport: no coordinator address")
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	advertise := cfg.Advertise
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+
+	// Rendezvous: hello → assignment.
+	rank, p, addrs, err := rendezvousTCP(cfg, advertise)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+
+	t := &TCP{
+		rank:    rank,
+		p:       p,
+		cfg:     cfg,
+		ln:      ln,
+		peers:   make([]*tcpPeer, p),
+		selfBox: newQueue(),
+		closed:  make(chan struct{}),
+	}
+	for i := 0; i < p; i++ {
+		if i == rank {
+			continue
+		}
+		t.peers[i] = &tcpPeer{rank: i, inbox: newQueue(), ready: make(chan struct{})}
+	}
+
+	// Accept inbound connections from higher-ranked peers…
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	// …and dial every lower-ranked peer, so each unordered pair shares
+	// exactly one pooled connection (dialer = higher rank).
+	deadline := time.Now().Add(cfg.DialTimeout)
+	for i := 0; i < rank; i++ {
+		conn, err := dialRetry(addrs[i], deadline)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: rank %d: peer %d: %w", rank, i, err)
+		}
+		ident := wire.AppendUint64(nil, protocolVersion)
+		ident = wire.AppendUint64(ident, uint64(rank))
+		conn.SetWriteDeadline(deadline)
+		if err := wire.WriteFrame(conn, tagIdent, ident); err != nil {
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("transport: rank %d: identify to peer %d: %w", rank, i, err)
+		}
+		conn.SetWriteDeadline(time.Time{})
+		t.attach(t.peers[i], conn)
+	}
+
+	// The mesh is complete once every peer (dialed and accepted) is ready.
+	for i, peer := range t.peers {
+		if peer == nil {
+			continue
+		}
+		select {
+		case <-peer.ready:
+		case <-time.After(time.Until(deadline)):
+			t.Close()
+			return nil, fmt.Errorf("transport: rank %d: peer %d never connected within %v", rank, i, cfg.DialTimeout)
+		}
+	}
+	return t, nil
+}
+
+// rendezvousTCP performs the coordinator handshake.
+func rendezvousTCP(cfg TCPConfig, advertise string) (rank, p int, addrs []string, err error) {
+	deadline := time.Now().Add(cfg.DialTimeout)
+	conn, err := dialRetry(cfg.Coordinator, deadline)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: coordinator %s: %w", cfg.Coordinator, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
+
+	hello := wire.AppendUint64(nil, protocolVersion)
+	hello = wire.AppendBytes(hello, []byte(advertise))
+	if err := wire.WriteFrame(conn, tagHello, hello); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	// The assignment only arrives once all P workers have joined, which can
+	// take much longer than one dial — wait up to the full rendezvous span.
+	conn.SetDeadline(time.Now().Add(cfg.DialTimeout + cfg.PeerTimeout))
+	tag, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: awaiting rank assignment: %w", err)
+	}
+	if tag != tagAssign {
+		return 0, 0, nil, fmt.Errorf("transport: expected assignment frame, got tag %d", tag)
+	}
+	r64, payload, err := wire.TakeUint64(payload)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	p64, payload, err := wire.TakeUint64(payload)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if p64 == 0 || r64 >= p64 || p64 > 1<<20 {
+		return 0, 0, nil, fmt.Errorf("transport: invalid assignment rank=%d p=%d", r64, p64)
+	}
+	addrs = make([]string, p64)
+	for i := range addrs {
+		var a []byte
+		a, payload, err = wire.TakeBytes(payload)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("transport: peer table: %w", err)
+		}
+		addrs[i] = string(a)
+	}
+	return int(r64), int(p64), addrs, nil
+}
+
+// dialRetry dials addr with exponential backoff until the deadline.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// acceptLoop attaches inbound connections from higher-ranked peers.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+		tag, payload, err := wire.ReadFrame(conn)
+		if err != nil || tag != tagIdent {
+			conn.Close()
+			continue
+		}
+		ver, payload, err := wire.TakeUint64(payload)
+		if err != nil || ver != protocolVersion {
+			conn.Close()
+			continue
+		}
+		r64, _, err := wire.TakeUint64(payload)
+		if err != nil || r64 >= uint64(t.p) || int(r64) <= t.rank {
+			conn.Close()
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		peer := t.peers[r64]
+		peer.mu.Lock()
+		dup := peer.conn != nil
+		peer.mu.Unlock()
+		if dup {
+			conn.Close()
+			continue
+		}
+		t.attach(peer, conn)
+	}
+}
+
+// attach wires a connection to its peer slot and starts the reader and
+// heartbeat goroutines.
+func (t *TCP) attach(p *tcpPeer, conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	close(p.ready)
+	t.wg.Add(2)
+	go t.readLoop(p)
+	go t.heartbeatLoop(p)
+}
+
+// readLoop turns the peer's frame stream into inbox messages. A read
+// deadline of PeerTimeout doubles as the heartbeat watchdog: a healthy but
+// idle peer refreshes it with heartbeat frames.
+func (t *TCP) readLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(t.cfg.PeerTimeout))
+		tag, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("no frame or heartbeat for %v", t.cfg.PeerTimeout)
+			}
+			t.failPeer(p, err)
+			return
+		}
+		if tag == tagHeartbeat {
+			continue
+		}
+		if len(payload) < 8 {
+			t.failPeer(p, fmt.Errorf("frame from rank %d lacks arrival header", p.rank))
+			return
+		}
+		arrival := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		p.inbox.put(Message{Tag: tag, Arrival: arrival, Data: payload[8:]})
+	}
+}
+
+// heartbeatLoop keeps an idle connection's watchdog fed.
+func (t *TCP) heartbeatLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := t.writeFrame(p, tagHeartbeat, nil); err != nil {
+				return // readLoop or failPeer handles the report
+			}
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// writeFrame serializes one frame onto the peer's pooled connection.
+func (t *TCP) writeFrame(p *tcpPeer, tag int32, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return &PeerDeadError{Rank: p.rank, Cause: p.err}
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
+	if err := wire.WriteFrame(p.conn, tag, payload); err != nil {
+		p.err = err
+		p.conn.Close()
+		p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: err})
+		return &PeerDeadError{Rank: p.rank, Cause: err}
+	}
+	return nil
+}
+
+// failPeer marks a peer dead: its connection closes and every pending and
+// future Recv from it returns a PeerDeadError. The first cause is kept.
+func (t *TCP) failPeer(p *tcpPeer, cause error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = cause
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.mu.Unlock()
+	p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: cause})
+}
+
+// Rank reports this endpoint's assigned rank.
+func (t *TCP) Rank() int { return t.rank }
+
+// P reports the cluster size.
+func (t *TCP) P() int { return t.p }
+
+// Send frames m and writes it to dst's pooled connection (or the local
+// queue for self-sends). The frame carries the virtual arrival time ahead
+// of the payload so the receiver's simulated clock advances exactly as it
+// would in-process.
+func (t *TCP) Send(dst int, m Message) error {
+	if dst < 0 || dst >= t.p {
+		return fmt.Errorf("transport: send to invalid rank %d of %d", dst, t.p)
+	}
+	select {
+	case <-t.closed:
+		return ErrClosed
+	default:
+	}
+	if dst == t.rank {
+		t.selfBox.put(m)
+		return nil
+	}
+	payload := make([]byte, 0, 8+len(m.Data))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(m.Arrival))
+	payload = append(payload, m.Data...)
+	return t.writeFrame(t.peers[dst], m.Tag, payload)
+}
+
+// Recv blocks for the next message from src; it errors out (instead of
+// hanging) once src is dead or the endpoint is closed.
+func (t *TCP) Recv(src int) (Message, error) {
+	if src < 0 || src >= t.p {
+		return Message{}, fmt.Errorf("transport: recv from invalid rank %d of %d", src, t.p)
+	}
+	if src == t.rank {
+		return t.selfBox.take()
+	}
+	return t.peers[src].inbox.take()
+}
+
+// Close tears the endpoint down: the listener and every peer connection
+// close, heartbeats stop, and all pending Recvs error with ErrClosed.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		for _, p := range t.peers {
+			if p != nil {
+				t.failPeer(p, ErrClosed)
+			}
+		}
+		t.selfBox.fail(ErrClosed)
+	})
+	return nil
+}

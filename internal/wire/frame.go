@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The frame is the unit every real-transport byte stream is built from:
+//
+//	magic   uint32  // FrameMagic, stream-desync detector
+//	tag     int32   // application message tag
+//	length  uint32  // payload byte count
+//	crc     uint32  // CRC-32 (IEEE) of the payload
+//	payload length bytes
+//
+// All fields little-endian. The in-process transport never frames (it hands
+// slices across goroutines), but both transports share the same payload
+// encodings above, so the byte counts charged to the cost model are
+// identical either way.
+const (
+	// FrameMagic opens every frame ("MST\x01").
+	FrameMagic uint32 = 0x0154534D
+	// FrameHeaderLen is the fixed header size in bytes.
+	FrameHeaderLen = 16
+	// MaxFramePayload bounds a frame's payload; a decoded length above it
+	// means a corrupt or hostile stream, not a huge message.
+	MaxFramePayload = 1 << 30
+)
+
+// Frame decode errors, distinguishable with errors.Is.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadChecksum = errors.New("wire: frame checksum mismatch")
+	ErrFrameSize   = errors.New("wire: frame payload length out of range")
+	ErrShortFrame  = errors.New("wire: short buffer for frame")
+)
+
+// AppendFrame appends one framed payload (header + payload) to buf.
+func AppendFrame(buf []byte, tag int32, payload []byte) []byte {
+	if len(payload) > MaxFramePayload {
+		panic(fmt.Sprintf("wire: frame payload %d exceeds MaxFramePayload", len(payload)))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, FrameMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(tag))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// TakeFrame decodes one frame from buf, returning the tag, the payload
+// (aliasing buf), and the remaining bytes. Truncated, desynced, oversized,
+// and corrupted frames all return errors; no input may panic.
+func TakeFrame(buf []byte) (tag int32, payload, rest []byte, err error) {
+	if len(buf) < FrameHeaderLen {
+		return 0, nil, nil, ErrShortFrame
+	}
+	if binary.LittleEndian.Uint32(buf) != FrameMagic {
+		return 0, nil, nil, ErrBadMagic
+	}
+	tag = int32(binary.LittleEndian.Uint32(buf[4:]))
+	length := binary.LittleEndian.Uint32(buf[8:])
+	crc := binary.LittleEndian.Uint32(buf[12:])
+	if length > MaxFramePayload {
+		return 0, nil, nil, fmt.Errorf("%w: %d", ErrFrameSize, length)
+	}
+	body := buf[FrameHeaderLen:]
+	if uint32(len(body)) < length {
+		return 0, nil, nil, fmt.Errorf("%w: want %d payload bytes, have %d", ErrShortFrame, length, len(body))
+	}
+	payload = body[:length:length]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, nil, ErrBadChecksum
+	}
+	return tag, payload, body[length:], nil
+}
+
+// WriteFrame writes one frame to w as a single Write call (header and
+// payload in one buffer), so concurrent writers guarded by a mutex never
+// interleave partial frames.
+func WriteFrame(w io.Writer, tag int32, payload []byte) error {
+	buf := make([]byte, 0, FrameHeaderLen+len(payload))
+	buf = AppendFrame(buf, tag, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r, validating magic, length, and
+// checksum. io.EOF is returned untouched only on a clean boundary (zero
+// header bytes read).
+func ReadFrame(r io.Reader) (tag int32, payload []byte, err error) {
+	var head [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: frame header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[:]) != FrameMagic {
+		return 0, nil, ErrBadMagic
+	}
+	tag = int32(binary.LittleEndian.Uint32(head[4:]))
+	length := binary.LittleEndian.Uint32(head[8:])
+	crc := binary.LittleEndian.Uint32(head[12:])
+	if length > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d", ErrFrameSize, length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, ErrBadChecksum
+	}
+	return tag, payload, nil
+}

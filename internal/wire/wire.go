@@ -7,6 +7,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // AppendInt32s appends a length-prefixed []int32 to buf.
@@ -63,6 +64,54 @@ func TakeUint64s(buf []byte) ([]uint64, []byte, error) {
 		buf = buf[8:]
 	}
 	return vals, buf, nil
+}
+
+// AppendFloat64s appends a length-prefixed []float64 to buf (IEEE-754 bit
+// patterns, little-endian).
+func AppendFloat64s(buf []byte, vals []float64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// TakeFloat64s decodes a length-prefixed []float64 from buf.
+func TakeFloat64s(buf []byte) ([]float64, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("wire: short buffer for float64 slice header")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > uint64(len(buf))/8 {
+		return nil, nil, fmt.Errorf("wire: float64 slice truncated: want %d values, have %d bytes", n, len(buf))
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		buf = buf[8:]
+	}
+	return vals, buf, nil
+}
+
+// AppendBytes appends a length-prefixed raw byte string to buf.
+func AppendBytes(buf, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// TakeBytes decodes a length-prefixed byte string from buf. The returned
+// slice aliases buf.
+func TakeBytes(buf []byte) ([]byte, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("wire: short buffer for bytes header")
+	}
+	n := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	if n > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("wire: byte string truncated: want %d bytes, have %d", n, len(buf))
+	}
+	return buf[:n:n], buf[n:], nil
 }
 
 // AppendUint64 appends one raw uint64.

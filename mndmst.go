@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"mndmst/internal/boruvka"
 	"mndmst/internal/bsp"
@@ -39,6 +40,7 @@ import (
 	"mndmst/internal/hypar"
 	"mndmst/internal/mst"
 	"mndmst/internal/trace"
+	"mndmst/internal/transport"
 	"mndmst/internal/wire"
 )
 
@@ -207,6 +209,81 @@ const (
 	BorderEdge
 )
 
+// TransportKind selects how simulated ranks exchange messages.
+type TransportKind int
+
+// Available transports.
+const (
+	// TransportInProcess runs every rank as a goroutine of this process
+	// with in-memory mailboxes — the default, fully deterministic mode.
+	TransportInProcess TransportKind = iota
+	// TransportTCP runs this process as ONE rank of a multi-process
+	// cluster over real loopback/LAN sockets. Requires Options.Cluster.
+	TransportTCP
+)
+
+// ClusterConfig describes how a TransportTCP rank joins its cluster. The
+// zero value of every field picks a sensible default except Coordinator,
+// which is required.
+type ClusterConfig struct {
+	// Coordinator is the host:port of the rendezvous coordinator every
+	// worker dials to be assigned a rank (required).
+	Coordinator string
+	// Listen is the local address workers accept peer connections on
+	// (default "127.0.0.1:0", an ephemeral loopback port).
+	Listen string
+	// DialTimeout bounds each coordinator/peer dial, including retries
+	// with exponential backoff (default 10s).
+	DialTimeout time.Duration
+	// HeartbeatInterval is the idle-link keepalive period (default 500ms).
+	HeartbeatInterval time.Duration
+	// PeerTimeout is how long a silent peer is tolerated before it is
+	// declared dead and blocked receives fail (default 5s).
+	PeerTimeout time.Duration
+}
+
+func (c ClusterConfig) tcp() transport.TCPConfig {
+	return transport.TCPConfig{
+		Coordinator:       c.Coordinator,
+		Listen:            c.Listen,
+		DialTimeout:       c.DialTimeout,
+		HeartbeatInterval: c.HeartbeatInterval,
+		PeerTimeout:       c.PeerTimeout,
+	}
+}
+
+// Coordinator hosts the rank-assignment rendezvous of a TCP cluster: it
+// listens on a socket, waits for the configured number of workers to join,
+// hands each one its rank and the peer address table, and exits. Start one
+// per cluster (typically in the launching process) before workers dial in.
+type Coordinator struct {
+	inner *transport.Coordinator
+	done  chan error
+}
+
+// StartCoordinator begins serving a ranks-worker rendezvous on addr
+// (e.g. "127.0.0.1:0" for an ephemeral port). Serving happens in the
+// background; call Wait to block until all workers joined.
+func StartCoordinator(addr string, ranks int) (*Coordinator, error) {
+	inner, err := transport.NewCoordinator(addr, ranks, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{inner: inner, done: make(chan error, 1)}
+	go func() { c.done <- inner.Serve() }()
+	return c, nil
+}
+
+// Addr returns the address workers should dial (resolved port included).
+func (c *Coordinator) Addr() string { return c.inner.Addr() }
+
+// Wait blocks until every worker has joined and been assigned a rank (or
+// the rendezvous failed).
+func (c *Coordinator) Wait() error { return <-c.done }
+
+// Close shuts the rendezvous listener down.
+func (c *Coordinator) Close() error { return c.inner.Close() }
+
 // Options configures a FindMSF run. The zero value runs on one AMD-cluster
 // node, CPU only, with the paper's default tunables.
 type Options struct {
@@ -238,6 +315,12 @@ type Options struct {
 	// paper's homogeneous assumption). The partitioner gives faster nodes
 	// proportionally more work.
 	NodeSpeeds []float64
+	// Transport selects in-process simulation (default) or one rank of a
+	// real multi-process TCP cluster.
+	Transport TransportKind
+	// Cluster configures the TCP cluster; required when Transport is
+	// TransportTCP, ignored otherwise.
+	Cluster *ClusterConfig
 }
 
 func (o Options) config() hypar.Config {
@@ -268,6 +351,9 @@ type PhaseTime struct {
 	Phase   string
 	Compute float64
 	Comm    float64
+	// Wall is the real elapsed time of the phase, populated only for
+	// multi-process (TransportTCP) runs.
+	Wall float64
 }
 
 // Result describes a computed minimum spanning forest and the simulated
@@ -292,6 +378,16 @@ type Result struct {
 	MessagesSent int64
 	// Phases is the per-phase breakdown (max across ranks).
 	Phases []PhaseTime
+	// WallSeconds is the real elapsed runtime (max across ranks); zero
+	// for in-process runs, whose only meaningful clock is simulated.
+	WallSeconds float64
+	// Rank is the executing rank for multi-process runs (always 0 for
+	// in-process runs, which compute every rank locally).
+	Rank int
+	// Root reports whether this Result carries the forest: true for
+	// in-process runs and for rank 0 of a multi-process run. Non-root
+	// workers return metrics only (nil EdgeIDs).
+	Root bool
 	// Trace gives access to the full per-rank accounting of the run (nil
 	// for sequential results).
 	Trace *RunTrace
@@ -312,28 +408,45 @@ func (t *RunTrace) WriteCSV(w io.Writer) error { return trace.WriteCSV(w, t.rep)
 // Profile renders an aligned text view with a load-balance summary.
 func (t *RunTrace) Profile() string { return trace.Profile(t.rep) }
 
-func resultFromForest(f *mst.Forest, rep *cluster.Report) *Result {
+func resultFromReport(rep *cluster.Report) *Result {
 	res := &Result{
-		EdgeIDs:        f.EdgeIDs,
-		TotalWeight:    f.TotalWeight,
-		Components:     f.Components,
 		SimSeconds:     rep.ExecutionTime(),
 		CommSeconds:    rep.CommTime(),
 		ComputeSeconds: rep.ComputeTime(),
 		BytesSent:      rep.TotalBytes(),
 		MessagesSent:   rep.TotalMsgs(),
+		WallSeconds:    rep.WallTime(),
 	}
 	for _, name := range rep.PhaseNames() {
 		c, m := rep.PhaseTime(name)
-		res.Phases = append(res.Phases, PhaseTime{Phase: name, Compute: c, Comm: m})
+		res.Phases = append(res.Phases, PhaseTime{
+			Phase: name, Compute: c, Comm: m, Wall: rep.PhaseWall(name),
+		})
 	}
 	res.Trace = &RunTrace{rep: rep}
 	return res
 }
 
+func resultFromForest(f *mst.Forest, rep *cluster.Report) *Result {
+	res := resultFromReport(rep)
+	res.EdgeIDs = f.EdgeIDs
+	res.TotalWeight = f.TotalWeight
+	res.Components = f.Components
+	res.Root = true
+	return res
+}
+
 // FindMSF computes the minimum spanning forest of g with the MND-MST
-// algorithm under the given options.
+// algorithm under the given options. With Options.Transport set to
+// TransportTCP it runs one rank of a multi-process cluster instead (see
+// FindMSFDistributed).
 func FindMSF(g *Graph, opts Options) (*Result, error) {
+	if opts.Transport == TransportTCP {
+		if opts.Cluster == nil {
+			return nil, fmt.Errorf("mndmst: TransportTCP requires Options.Cluster")
+		}
+		return FindMSFDistributed(g, opts, *opts.Cluster)
+	}
 	machine := opts.Machine.model()
 	if len(opts.NodeSpeeds) > 0 {
 		if len(opts.NodeSpeeds) != opts.nodes() {
@@ -346,6 +459,40 @@ func FindMSF(g *Graph, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return resultFromForest(res.Forest, res.Report), nil
+}
+
+// FindMSFDistributed runs this process's rank of a multi-process MND-MST
+// computation over real TCP sockets. Every worker of the cluster must call
+// it with the identical graph and options; the cluster size is fixed by
+// the coordinator (Options.Nodes is ignored). Rank 0 returns the forest
+// plus the gathered P-rank report — with both simulated clocks and real
+// wall-clock phase times — while other ranks return their local metrics
+// with Root == false and no forest.
+func FindMSFDistributed(g *Graph, opts Options, cfg ClusterConfig) (*Result, error) {
+	ep, err := transport.DialTCP(cfg.tcp())
+	if err != nil {
+		return nil, fmt.Errorf("mndmst: join cluster: %w", err)
+	}
+	defer ep.Close()
+	machine := opts.Machine.model()
+	if len(opts.NodeSpeeds) > 0 {
+		if len(opts.NodeSpeeds) != ep.P() {
+			return nil, fmt.Errorf("mndmst: NodeSpeeds has %d entries for %d ranks", len(opts.NodeSpeeds), ep.P())
+		}
+		machine.NodeSpeeds = opts.NodeSpeeds
+	}
+	res, err := core.RunDistributed(g.el, ep, machine, opts.config(), opts.UseGPU)
+	if err != nil {
+		return nil, err
+	}
+	var out *Result
+	if res.Forest != nil {
+		out = resultFromForest(res.Forest, res.Report)
+	} else {
+		out = resultFromReport(res.Report)
+	}
+	out.Rank = ep.Rank()
+	return out, nil
 }
 
 // FindMSFBSP computes the same forest with the Pregel+-style BSP baseline
@@ -366,6 +513,7 @@ func FindMSFSequential(g *Graph) *Result {
 		EdgeIDs:     f.EdgeIDs,
 		TotalWeight: f.TotalWeight,
 		Components:  f.Components,
+		Root:        true,
 	}
 }
 
@@ -397,6 +545,7 @@ func FindMSFShared(g *Graph) (*Result, error) {
 		EdgeIDs:     res.ChosenIDs,
 		TotalWeight: res.ChosenWeight,
 		Components:  res.Components,
+		Root:        true,
 	}, nil
 }
 

@@ -20,7 +20,10 @@ echo "== tests =="
 go test ./...
 
 echo "== race (core packages) =="
-go test -race ./internal/cluster/ ./internal/boruvka/ ./internal/dsu/ ./internal/hashtable/
+go test -race ./internal/transport/ ./internal/cluster/ ./internal/boruvka/ ./internal/dsu/ ./internal/hashtable/
+
+echo "== multi-process smoke (loopback TCP workers) =="
+go run ./cmd/mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify
 
 echo "== benches (smoke) =="
 go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost' -benchtime 1x .

@@ -1,0 +1,69 @@
+// Command mndmst-lint runs the project-specific static-analysis suite over
+// the given packages (default ./...) and exits nonzero when any invariant
+// is violated. It is stdlib-only: packages are resolved with `go list` and
+// type-checked with go/types, so it needs nothing beyond the Go toolchain.
+//
+// Usage:
+//
+//	mndmst-lint ./...                   # whole module (CI gate)
+//	mndmst-lint ./internal/merge        # one package
+//	mndmst-lint -checks                 # list the check IDs and exit
+//
+// Checks and their //lint: justification tokens are documented in
+// DESIGN.md ("Determinism & analysis rules"). Exit status: 0 clean,
+// 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mndmst/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("mndmst-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		listChecks = fs.Bool("checks", false, "list the check IDs and exit")
+		quiet      = fs.Bool("q", false, "suppress the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listChecks {
+		for _, c := range lint.Checks {
+			fmt.Fprintf(out, "%-14s (suppress: //lint:%s) %s\n", c.ID, c.Suppress, c.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(errOut, "mndmst-lint:", err)
+		return 2
+	}
+	findings := lint.Run(pkgs)
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		if !*quiet {
+			fmt.Fprintf(errOut, "mndmst-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	if !*quiet {
+		fmt.Fprintf(errOut, "mndmst-lint: %d package(s) clean\n", len(pkgs))
+	}
+	return 0
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the command's contract: 0 on a clean tree, 1 when
+// findings are reported, 0 for -checks.
+func TestExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if c := run([]string{"../../internal/lint/testdata/src/good"}, &out, &errOut); c != 0 {
+		t.Errorf("good corpus: exit %d, want 0\n%s%s", c, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if c := run([]string{"../../internal/lint/testdata/src/bad"}, &out, &errOut); c != 1 {
+		t.Errorf("bad corpus: exit %d, want 1\n%s%s", c, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "det-mapiter") {
+		t.Errorf("bad corpus output lacks findings:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if c := run([]string{"-checks"}, &out, &errOut); c != 0 {
+		t.Errorf("-checks: exit %d, want 0", c)
+	}
+	for _, id := range []string{"det-mapiter", "det-wallclock", "tag-literal", "tag-dup", "go-hygiene", "err-drop", "weight-cmp"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-checks output lacks %s:\n%s", id, out.String())
+		}
+	}
+}

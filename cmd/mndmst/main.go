@@ -185,8 +185,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := res.Trace.WriteJSONL(f); err != nil {
-				f.Close()
-				return err
+				return errors.Join(err, f.Close())
 			}
 			if err := f.Close(); err != nil {
 				return err
@@ -234,19 +233,13 @@ func launchLocal(out io.Writer, spec string, childArgs []string) error {
 		cmd.Stdout = &bufs[i]
 		cmd.Stderr = &bufs[i]
 		if err := cmd.Start(); err != nil {
-			for _, c := range cmds[:i] {
-				c.Process.Kill()
-				c.Wait()
-			}
+			killWorkers(cmds[:i])
 			return fmt.Errorf("start worker %d: %w", i, err)
 		}
 		cmds[i] = cmd
 	}
 	if err := coord.Wait(); err != nil {
-		for _, c := range cmds {
-			c.Process.Kill()
-			c.Wait()
-		}
+		killWorkers(cmds)
 		return fmt.Errorf("rendezvous: %w", err)
 	}
 	var errs []error
@@ -267,6 +260,22 @@ func launchLocal(out io.Writer, spec string, childArgs []string) error {
 		}
 	}
 	return nil
+}
+
+// killWorkers tears down already-started workers after a launch failure.
+// A kill that itself fails is reported to stderr (the launch error is
+// already on its way to the caller); the Wait that follows only reaps the
+// killed process, whose nonzero exit is expected.
+func killWorkers(cmds []*exec.Cmd) {
+	for _, c := range cmds {
+		if c == nil {
+			continue
+		}
+		if err := c.Process.Kill(); err != nil {
+			fmt.Fprintf(os.Stderr, "mndmst: kill worker pid %d: %v\n", c.Process.Pid, err)
+		}
+		c.Wait() //lint:droperr reaping a process we just killed; its nonzero exit is expected
+	}
 }
 
 // runApp executes one of the non-MST graph applications.

@@ -122,7 +122,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown machine %q", *machine)
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:wallclock real wall-clock reporting is the point of the distributed daemon
 	res, err := mndmst.FindMSFDistributed(g, opts, cfg)
 	if err != nil {
 		return err
@@ -141,8 +141,9 @@ func run(args []string, out io.Writer) error {
 		len(res.EdgeIDs), res.Components, res.TotalWeight)
 	fmt.Fprintf(out, "simulated: exec %.4fs  compute %.4fs  comm %.4fs  (%d msgs, %d bytes)\n",
 		res.SimSeconds, res.ComputeSeconds, res.CommSeconds, res.MessagesSent, res.BytesSent)
+	elapsed := time.Since(start) //lint:wallclock real wall-clock reporting is the point of the distributed daemon
 	fmt.Fprintf(out, "real: %.4fs wall (max across ranks; this process %.4fs)\n",
-		res.WallSeconds, time.Since(start).Seconds())
+		res.WallSeconds, elapsed.Seconds())
 	for _, ph := range res.Phases {
 		fmt.Fprintf(out, "  phase %-14s compute %.4fs  comm %.4fs  wall %.4fs\n",
 			ph.Phase, ph.Compute, ph.Comm, ph.Wall)

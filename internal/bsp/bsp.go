@@ -268,11 +268,11 @@ func (w *worker) round() (int, error) {
 				a.dead = true
 				continue
 			}
-			if a.w < vBest.w {
+			if graph.WeightLess(a.w, vBest.w) {
 				vBest = cand{comp: cv, other: cu, w: a.w, eid: a.eid}
 			}
 			cd, ok := best[cv]
-			if !ok || a.w < cd.w {
+			if !ok || graph.WeightLess(a.w, cd.w) {
 				best[cv] = cand{comp: cv, other: cu, w: a.w, eid: a.eid}
 			}
 			work.HashOps++
@@ -293,7 +293,7 @@ func (w *worker) round() (int, error) {
 			o := w.owner(c)
 			if o == me {
 				merged, ok := localCands[c]
-				if !ok || cd.w < merged.w {
+				if !ok || graph.WeightLess(cd.w, merged.w) {
 					localCands[c] = cd
 				}
 				continue
@@ -305,7 +305,7 @@ func (w *worker) round() (int, error) {
 			o := w.owner(cd.comp)
 			if o == me {
 				merged, ok := localCands[cd.comp]
-				if !ok || cd.w < merged.w {
+				if !ok || graph.WeightLess(cd.w, merged.w) {
 					localCands[cd.comp] = cd
 				}
 				continue
@@ -324,7 +324,7 @@ func (w *worker) round() (int, error) {
 		}
 		for _, cd := range cds {
 			cur, ok := localCands[cd.comp]
-			if !ok || cd.w < cur.w {
+			if !ok || graph.WeightLess(cd.w, cur.w) {
 				localCands[cd.comp] = cd
 			}
 			work.HashOps++

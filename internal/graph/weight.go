@@ -1,0 +1,35 @@
+package graph
+
+// This file is the designated home of edge-weight ordering. Every weight
+// comparison outside this package must go through these helpers (enforced
+// by mndmst-lint's weight-cmp check): packed weights embed the canonical
+// edge id below the 16 random bits (MakeWeight), so the order defined here
+// is total and the minimum spanning forest is unique. Routing all
+// comparisons through one place keeps any future change to the weight
+// encoding (wider weights, float inputs, external tie-break) from silently
+// splitting the order between packages.
+
+// WeightLess reports whether packed weight a orders strictly before b in
+// the canonical total order. With distinct packed weights (guaranteed per
+// graph by the embedded edge id) exactly one of WeightLess(a, b),
+// WeightLess(b, a) holds for a != b.
+func WeightLess(a, b uint64) bool { return a < b }
+
+// WeightMax returns the later of two packed weights in the canonical
+// order.
+func WeightMax(a, b uint64) uint64 {
+	if WeightLess(a, b) {
+		return b
+	}
+	return a
+}
+
+// EdgeLess orders edges by packed weight, falling back to the canonical
+// edge id for (impossible within one graph, but safe across graphs) weight
+// ties. It is the comparator for every edge sort on the data path.
+func EdgeLess(a, b Edge) bool {
+	if a.W != b.W {
+		return WeightLess(a.W, b.W)
+	}
+	return a.ID < b.ID
+}

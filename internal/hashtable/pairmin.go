@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mndmst/internal/graph"
 	"mndmst/internal/wire"
 )
 
@@ -69,7 +70,7 @@ func (t *PairMinTable) Update(a, b int32, e wire.WEdge) bool {
 		t.ops.Add(1)
 	}()
 	cur, ok := s.m[k]
-	if !ok || e.W < cur.W {
+	if !ok || graph.WeightLess(e.W, cur.W) {
 		s.m[k] = e
 		return true
 	}
@@ -83,6 +84,7 @@ func (t *PairMinTable) Edges() []wire.WEdge {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
+		//lint:sorted every caller sorts the returned slice before it crosses a rank boundary
 		for _, e := range s.m {
 			out = append(out, e)
 		}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// fileDirectives holds the parsed //lint: comments of one file.
+type fileDirectives struct {
+	// tokens maps a source line to the suppression tokens present on it.
+	tokens map[int][]string
+	// pathOverride is the //lint:path value, if any (self-test corpus).
+	pathOverride string
+}
+
+// parseDirectives extracts //lint:<token> [reason] comments. A suppression
+// applies to findings on the comment's own line or the line directly below
+// it (so both trailing and standalone-preceding comments work).
+//
+//	m[k] = v //lint:sorted feeds a sorted copy
+//
+//	//lint:detached joined via Coordinator.Wait
+//	go func() { ... }()
+func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{tokens: map[int][]string{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, "//lint:") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "//lint:")
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			tok := fields[0]
+			if tok == "path" {
+				if len(fields) >= 2 {
+					d.pathOverride = fields[1]
+				}
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			d.tokens[line] = append(d.tokens[line], tok)
+		}
+	}
+	return d
+}
+
+// fileDirectives returns (parsing on demand) the directives of f.
+func (p *Package) fileDirectives(f *ast.File) *fileDirectives {
+	if p.directives == nil {
+		p.directives = map[*ast.File]*fileDirectives{}
+	}
+	d, ok := p.directives[f]
+	if !ok {
+		d = parseDirectives(p.Fset, f)
+		p.directives[f] = d
+	}
+	return d
+}
+
+// suppressed reports whether a finding at pos in file f is justified by a
+// //lint:<tok> comment on the same line or the line above.
+func (p *Package) suppressed(f *ast.File, pos token.Pos, tok string) bool {
+	d := p.fileDirectives(f)
+	line := p.Fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, t := range d.tokens[l] {
+			if t == tok {
+				return true
+			}
+		}
+	}
+	return false
+}

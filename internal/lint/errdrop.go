@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDropScope reports whether a file with the given scope path is held to
+// the error-discipline rule: the delivery layers (transport, wire, cluster)
+// and every command under cmd/.
+func errDropScope(path string) bool {
+	switch pathElem(path) {
+	case "transport", "wire", "cluster":
+		return true
+	}
+	return pathHasParent(path, "cmd")
+}
+
+// checkErrDrop flags discarded error returns in the scoped packages: both
+// explicit `_ = f()` assignments and bare call statements whose results
+// include an error. A swallowed transport or IO error turns a clean failure
+// into a hang or silent data loss. Genuine best-effort calls (teardown
+// paths) need //lint:droperr <reason>.
+//
+// fmt printing and in-memory writers (strings.Builder, bytes.Buffer) are
+// exempt: their errors are either meaningless for terminal output or
+// documented never to occur. Deferred calls are not analyzed.
+func checkErrDrop(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if !errDropScope(p.ScopePath(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(nn.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !p.callReturnsError(call) || p.errExempt(call) {
+					return true
+				}
+				if !p.suppressed(f, nn.Pos(), "droperr") {
+					out = append(out, p.finding("err-drop", nn,
+						"result of %s includes an error that is silently ignored; handle it or justify with //lint:droperr <reason>",
+						callName(call)))
+				}
+			case *ast.AssignStmt:
+				out = append(out, p.blankErrAssigns(f, nn)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blankErrAssigns flags `_ = ...` positions whose static type is error.
+func (p *Package) blankErrAssigns(f *ast.File, asg *ast.AssignStmt) []Finding {
+	var out []Finding
+	report := func(n ast.Node, what string) {
+		if !p.suppressed(f, asg.Pos(), "droperr") {
+			out = append(out, p.finding("err-drop", n,
+				"error from %s assigned to _; handle it or justify with //lint:droperr <reason>", what))
+		}
+	}
+	if len(asg.Rhs) == 1 && len(asg.Lhs) > 1 {
+		// Multi-value call: v, _ := f()
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok || p.errExempt(call) {
+			return out
+		}
+		sig := p.calleeSignature(call)
+		if sig == nil {
+			return out
+		}
+		res := sig.Results()
+		for i, lhs := range asg.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name != "_" || i >= res.Len() {
+				continue
+			}
+			if isErrorType(res.At(i).Type()) {
+				report(lhs, callName(call))
+			}
+		}
+		return out
+	}
+	for i, lhs := range asg.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(asg.Rhs) {
+			continue
+		}
+		rhs := asg.Rhs[i]
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && p.errExempt(call) {
+			continue
+		}
+		if isErrorType(p.typeOf(rhs)) {
+			report(lhs, exprText(rhs))
+		}
+	}
+	return out
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func (p *Package) callReturnsError(call *ast.CallExpr) bool {
+	sig := p.calleeSignature(call)
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// errExempt reports whether the callee's errors are conventionally
+// meaningless: fmt printing, and writes to in-memory buffers.
+func (p *Package) errExempt(call *ast.CallExpr) bool {
+	obj := p.calleeObject(call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			switch full {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callName renders a short name of the called function for messages.
+func callName(call *ast.CallExpr) string {
+	return exprText(call.Fun)
+}

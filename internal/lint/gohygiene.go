@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutineExempt names the designated concurrency layers: parutil owns the
+// fork/join worker pools, transport owns connection readers/heartbeats with
+// their own lifecycle management.
+var goroutineExempt = map[string]bool{
+	"parutil":   true,
+	"transport": true,
+}
+
+// checkGoHygiene flags `go` statements outside the designated concurrency
+// packages when the spawning function shows no sign of joining the work: no
+// WaitGroup-style Wait call, no channel receive, no channel range, and no
+// select. A goroutine that outlives its spawner escapes the rank's
+// virtual-time accounting and can race teardown; genuinely detached
+// goroutines need //lint:detached <reason>.
+func checkGoHygiene(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if goroutineExempt[pathElem(p.ScopePath(f))] {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.suppressed(f, gs.Pos(), "detached") {
+				return true
+			}
+			// The innermost function node below the GoStmt on the stack is
+			// the spawning function (the goroutine's own FuncLit has not
+			// been visited yet).
+			var encl ast.Node
+			for i := len(stack) - 2; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					encl = stack[i]
+				}
+				if encl != nil {
+					break
+				}
+			}
+			if encl == nil || !p.hasJoin(encl, gs) {
+				out = append(out, p.finding("go-hygiene", gs,
+					"goroutine is never joined in the spawning function; add a WaitGroup/channel join or justify with //lint:detached <reason>"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasJoin reports whether fn (a FuncDecl or FuncLit) contains, outside the
+// goroutine body itself, any join construct: a .Wait() call, a channel
+// receive, a range over a channel, or a select statement.
+func (p *Package) hasJoin(fn ast.Node, gs *ast.GoStmt) bool {
+	joined := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil || joined {
+			return false
+		}
+		// Skip the goroutine body: a join inside the goroutine itself does
+		// not keep the spawner from returning early.
+		if n == gs.Call {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				joined = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				joined = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := p.typeOf(nn.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					joined = true
+					return false
+				}
+			}
+		case *ast.SelectStmt:
+			joined = true
+			return false
+		}
+		return true
+	})
+	return joined
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Reserved tag bands. Application protocols (merge, apps, bsp, ...) own the
+// non-negative tag space; the composed collectives and report gathering own
+// [-9999, -100]; the transport control plane owns everything at or below
+// -1_000_000. A desynced stream can then never alias a control frame.
+const (
+	ctrlBandHi      = -100
+	ctrlBandLo      = -9999
+	transportBandHi = -1_000_000
+)
+
+// checkTagLiteral flags raw integer literals passed where a callee declares
+// a parameter named `tag` (cluster.Rank.Send/Recv, the chunked merge
+// protocol, wire frames), and literal Tag fields in transport.Message
+// composites. Send/recv pairs stay symmetric only when both sides name the
+// same constant.
+func checkTagLiteral(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.CallExpr:
+				sig := p.calleeSignature(nn)
+				if sig == nil {
+					return true
+				}
+				params := sig.Params()
+				for i := 0; i < params.Len() && i < len(nn.Args); i++ {
+					if params.At(i).Name() != "tag" {
+						continue
+					}
+					arg := nn.Args[i]
+					if p.isIntLiteral(arg) && !p.suppressed(f, arg.Pos(), "tag") {
+						out = append(out, p.finding("tag-literal", arg,
+							"raw integer tag %s; use a named tag constant so send/recv stay symmetric", exprText(arg)))
+					}
+				}
+			case *ast.CompositeLit:
+				t := p.typeOf(nn)
+				if t == nil || !isTransportMessage(t) {
+					return true
+				}
+				for _, el := range nn.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Tag" {
+						continue
+					}
+					if p.isIntLiteral(kv.Value) && !p.suppressed(f, kv.Value.Pos(), "tag") {
+						out = append(out, p.finding("tag-literal", kv.Value,
+							"raw integer Tag %s in transport.Message; use a named tag constant", exprText(kv.Value)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkTagDup flags duplicate tag-constant values within a package and tag
+// constants that trespass on a reserved band they do not own.
+func checkTagDup(p *Package) []Finding {
+	type tagConst struct {
+		name string
+		val  int64
+		node ast.Node
+		file *ast.File
+	}
+	var tags []tagConst
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "tag") && !strings.HasPrefix(name.Name, "Tag") {
+						continue
+					}
+					obj, ok := p.objectOf(name).(*types.Const)
+					if !ok {
+						continue
+					}
+					if obj.Val().Kind() != constant.Int {
+						continue
+					}
+					v, ok := constant.Int64Val(obj.Val())
+					if !ok {
+						continue
+					}
+					tags = append(tags, tagConst{name: name.Name, val: v, node: name, file: f})
+				}
+			}
+		}
+	}
+	sort.SliceStable(tags, func(i, j int) bool { return tags[i].node.Pos() < tags[j].node.Pos() })
+
+	var out []Finding
+	seen := map[int64]string{}
+	for _, tc := range tags {
+		if p.suppressed(tc.file, tc.node.Pos(), "tag") {
+			continue
+		}
+		if prev, dup := seen[tc.val]; dup {
+			out = append(out, p.finding("tag-dup", tc.node,
+				"tag constant %s duplicates the value %d of %s; every protocol stream needs a distinct tag", tc.name, tc.val, prev))
+		} else {
+			seen[tc.val] = tc.name
+		}
+		scope := pathElem(p.ScopePath(tc.file))
+		switch scope {
+		case "transport":
+			// The transport control plane owns the deep-negative band only.
+		case "cluster":
+			// Collective/report control tags own [-9999, -100].
+			if tc.val <= transportBandHi {
+				out = append(out, p.finding("tag-dup", tc.node,
+					"tag constant %s = %d trespasses on the transport control band (<= %d)", tc.name, tc.val, transportBandHi))
+			}
+		default:
+			if tc.val < 0 {
+				out = append(out, p.finding("tag-dup", tc.node,
+					"tag constant %s = %d is negative; application tags own the non-negative space (control bands [%d,%d] and <= %d are reserved)",
+					tc.name, tc.val, ctrlBandLo, ctrlBandHi, transportBandHi))
+			}
+		}
+	}
+	return out
+}
+
+// isIntLiteral reports whether e is an integer literal, possibly wrapped in
+// a sign or a type conversion like int32(7).
+func (p *Package) isIntLiteral(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB || v.Op == token.ADD {
+			return p.isIntLiteral(v.X)
+		}
+	case *ast.CallExpr:
+		// Conversion of a literal: int32(7). Real calls are not literals.
+		if len(v.Args) == 1 && p.Info != nil {
+			if tv, ok := p.Info.Types[v.Fun]; ok && tv.IsType() {
+				return p.isIntLiteral(v.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// isTransportMessage reports whether t is (a pointer to) transport.Message.
+func isTransportMessage(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Message" && pathElem(named.Obj().Pkg().Path()) == "transport"
+}
+
+// exprText renders a short source-ish form of e for messages.
+func exprText(e ast.Expr) string {
+	return types.ExprString(e)
+}

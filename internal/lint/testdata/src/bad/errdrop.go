@@ -1,0 +1,17 @@
+package bad
+
+//lint:path mndmst/cmd/badcmd
+
+import "os"
+
+// dropErrors discards errors every way the check recognizes: a bare call
+// statement, an explicit blank assign, and a blank slot of a multi-value
+// call.
+func dropErrors(name string) {
+	os.Remove(name)       // want err-drop
+	_ = os.Remove(name)   // want err-drop
+	f, _ := os.Open(name) // want err-drop
+	if f != nil {
+		f.Close() // want err-drop
+	}
+}

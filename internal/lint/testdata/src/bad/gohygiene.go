@@ -1,0 +1,7 @@
+package bad
+
+// spawnLeak starts a goroutine its spawner never joins: no WaitGroup Wait,
+// no channel receive, no select.
+func spawnLeak(work func()) {
+	go work() // want go-hygiene
+}

@@ -1,0 +1,13 @@
+package bad
+
+//lint:path mndmst/internal/merge
+
+// leakOrder exports map iteration order into a rank-visible slice without
+// sorting — the classic determinism leak det-mapiter exists to catch.
+func leakOrder(m map[int32]int32) []int32 {
+	var out []int32
+	for k := range m { // want det-mapiter
+		out = append(out, k)
+	}
+	return out
+}

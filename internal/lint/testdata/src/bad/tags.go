@@ -1,0 +1,18 @@
+package bad
+
+import "mndmst/internal/lint/testdata/src/transport"
+
+const (
+	tagAlpha int32 = 7
+	tagBeta  int32 = 7  // want tag-dup
+	tagGamma int32 = -5 // want tag-dup
+)
+
+func send(tag int32, payload []byte) {}
+
+func sendAll() {
+	send(9, nil)         // want tag-literal
+	send(int32(11), nil) // want tag-literal
+	send(tagAlpha, nil)
+	_ = transport.Message{Tag: 13} // want tag-literal
+}

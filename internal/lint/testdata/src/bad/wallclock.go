@@ -1,0 +1,16 @@
+package bad
+
+//lint:path mndmst/internal/core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallLeak reads the real clock and the global random source from a
+// simulated data-path package.
+func wallLeak() (int64, int) {
+	t := time.Now()    // want det-wallclock
+	n := rand.Intn(10) // want det-wallclock
+	return t.UnixNano(), n
+}

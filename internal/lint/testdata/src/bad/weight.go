@@ -1,0 +1,12 @@
+package bad
+
+type edge struct {
+	ID uint64
+	W  uint64
+}
+
+// lighter compares edge weights directly instead of going through the
+// internal/graph total-order helpers.
+func lighter(a, b edge) bool {
+	return a.W < b.W // want weight-cmp
+}

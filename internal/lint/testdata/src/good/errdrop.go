@@ -1,0 +1,22 @@
+package good
+
+//lint:path mndmst/cmd/goodcmd
+
+import (
+	"fmt"
+	"os"
+)
+
+// handled propagates, prints (fmt is exempt), or justifies every error.
+func handled(name string) error {
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	fmt.Println("removed", name)
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	f.Close() //lint:droperr best-effort teardown in a fixture
+	return nil
+}

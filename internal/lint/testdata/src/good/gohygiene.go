@@ -1,0 +1,27 @@
+package good
+
+import "sync"
+
+// spawnJoined joins its goroutine with a WaitGroup.
+func spawnJoined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// spawnChannel joins its goroutine with a channel receive.
+func spawnChannel(work func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- work() }()
+	return <-ch
+}
+
+// spawnDetached is justified as genuinely fire-and-forget.
+func spawnDetached(work func()) {
+	//lint:detached fixture stand-in for bounded fire-and-forget work
+	go work()
+}

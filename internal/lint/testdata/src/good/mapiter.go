@@ -1,0 +1,42 @@
+package good
+
+//lint:path mndmst/internal/merge
+
+import "sort"
+
+// collectSorted uses the collect-then-sort idiom the check accepts.
+func collectSorted(m map[int32]int32) []int32 {
+	var out []int32
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clearAll is the order-insensitive delete-only clear idiom.
+func clearAll(m map[int32]int32) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// copyAll is the single order-insensitive map write keyed by the iteration
+// variable.
+func copyAll(m map[int32]int32) map[int32]int32 {
+	out := make(map[int32]int32, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// justified carries an explicit order-insensitivity justification.
+func justified(m map[int32]int32) int32 {
+	var sum int32
+	//lint:sorted summation commutes, so iteration order cannot leak
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,16 @@
+package good
+
+import "mndmst/internal/lint/testdata/src/transport"
+
+const (
+	tagEdges  int32 = 0
+	tagCounts int32 = 1
+)
+
+func send(tag int32, payload []byte) {}
+
+func sendAll() {
+	send(tagEdges, nil)
+	send(tagCounts, nil)
+	_ = transport.Message{Tag: tagCounts}
+}

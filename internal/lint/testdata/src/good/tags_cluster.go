@@ -1,0 +1,9 @@
+package good
+
+//lint:path mndmst/internal/cluster
+
+// Control tags in cluster scope may use the [-9999, -100] band.
+const (
+	tagCtrlBarrier int32 = -100
+	tagCtrlReport  int32 = -101
+)

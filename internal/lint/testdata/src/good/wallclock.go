@@ -1,0 +1,8 @@
+package good
+
+//lint:path mndmst/internal/trace
+
+import "time"
+
+// stamp may read the real clock: trace is an exempt observability package.
+func stamp() int64 { return time.Now().UnixNano() }

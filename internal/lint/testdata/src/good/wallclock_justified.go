@@ -1,0 +1,21 @@
+package good
+
+//lint:path mndmst/internal/core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// justifiedWall reads the real clock under an explicit justification.
+func justifiedWall() int64 {
+	t := time.Now() //lint:wallclock wall column of the distributed report
+	return t.UnixNano()
+}
+
+// seeded draws from a seeded generator, which is deterministic by
+// construction and allowed everywhere.
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}

@@ -1,0 +1,22 @@
+package good
+
+type edge struct {
+	ID uint64
+	W  uint64
+}
+
+// lighter is a justified stand-in for a designated tie-break helper.
+func lighter(a, b edge) bool {
+	return a.W < b.W //lint:weightcmp fixture stand-in for a designated helper
+}
+
+// heaviest never touches a weight field, so plain comparisons are fine.
+func heaviest(ids []uint64) uint64 {
+	var m uint64
+	for _, id := range ids {
+		if id > m {
+			m = id
+		}
+	}
+	return m
+}

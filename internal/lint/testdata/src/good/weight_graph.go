@@ -1,0 +1,9 @@
+package good
+
+//lint:path mndmst/internal/graph
+
+type wedge struct{ W uint64 }
+
+// wedgeLess lives (by scope override) in internal/graph, the designated
+// home of weight ordering, where direct comparisons are the implementation.
+func wedgeLess(a, b wedge) bool { return a.W < b.W }

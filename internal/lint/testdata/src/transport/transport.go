@@ -1,0 +1,12 @@
+// Package transport is a corpus stand-in for the real transport package:
+// it supplies the Message shape the tag-literal fixtures construct. The
+// lint checks recognize transport.Message by package-path element and type
+// name, so this package must keep both.
+package transport
+
+// Message mirrors the real transport.Message shape.
+type Message struct {
+	Tag     int32
+	Arrival float64
+	Data    []byte
+}

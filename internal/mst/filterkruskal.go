@@ -38,7 +38,7 @@ func filterKruskal(el *graph.EdgeList, idx []int32, d *dsu.DSU, f *Forest) {
 		return
 	}
 	if len(idx) <= kruskalThreshold {
-		sort.Slice(idx, func(i, j int) bool { return el.Edges[idx[i]].W < el.Edges[idx[j]].W })
+		sort.Slice(idx, func(i, j int) bool { return graph.WeightLess(el.Edges[idx[i]].W, el.Edges[idx[j]].W) })
 		for _, i := range idx {
 			e := &el.Edges[i]
 			if d.Union(e.U, e.V) {
@@ -53,7 +53,7 @@ func filterKruskal(el *graph.EdgeList, idx []int32, d *dsu.DSU, f *Forest) {
 	light := make([]int32, 0, len(idx)/2)
 	heavy := make([]int32, 0, len(idx)/2)
 	for _, i := range idx {
-		if el.Edges[i].W <= pivot {
+		if !graph.WeightLess(pivot, el.Edges[i].W) { // W <= pivot
 			light = append(light, i)
 		} else {
 			heavy = append(heavy, i)

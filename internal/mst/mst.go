@@ -49,7 +49,7 @@ func Kruskal(el *graph.EdgeList) *Forest {
 		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return el.Edges[order[i]].W < el.Edges[order[j]].W
+		return graph.WeightLess(el.Edges[order[i]].W, el.Edges[order[j]].W)
 	})
 	d := dsu.New(int(el.N))
 	f := &Forest{}
@@ -81,7 +81,7 @@ type primItem struct {
 type primHeap []primItem
 
 func (h primHeap) Len() int            { return len(h) }
-func (h primHeap) Less(i, j int) bool  { return h[i].w < h[j].w }
+func (h primHeap) Less(i, j int) bool  { return graph.WeightLess(h[i].w, h[j].w) }
 func (h primHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *primHeap) Push(x interface{}) { *h = append(*h, x.(primItem)) }
 func (h *primHeap) Pop() interface{} {
@@ -150,7 +150,7 @@ func Boruvka(el *graph.EdgeList) *Forest {
 			}
 			found = true
 			for _, r := range [2]int32{ru, rv} {
-				if best[r] < 0 || e.W < el.Edges[best[r]].W {
+				if best[r] < 0 || graph.WeightLess(e.W, el.Edges[best[r]].W) {
 					best[r] = int32(i)
 				}
 			}

@@ -139,7 +139,7 @@ func VerifyForest(el *graph.EdgeList, f *Forest) error {
 		if chosen[e.ID] || e.U == e.V {
 			continue
 		}
-		if m := pathMax(e.U, e.V); e.W < m {
+		if m := pathMax(e.U, e.V); graph.WeightLess(e.W, m) {
 			return fmt.Errorf("mst: non-tree edge %d (w=%d) lighter than path max %d — not minimal", e.ID, e.W, m)
 		}
 	}

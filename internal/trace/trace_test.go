@@ -102,3 +102,101 @@ func TestProfileRendering(t *testing.T) {
 		}
 	}
 }
+
+// wallReport fabricates the report of a multi-process run: every rank and
+// phase carries a real wall-clock measurement.
+func wallReport() *cluster.Report {
+	return &cluster.Report{Ranks: []cluster.RankStats{
+		{
+			Rank: 0, Total: 0.004, Compute: 0.003, Comm: 0.001,
+			BytesSent: 512, MsgsSent: 1, Wall: 0.25,
+			Phases: map[string]cluster.PhaseStats{
+				"alpha": {Compute: 0.003, Wall: 0.2},
+				"beta":  {Comm: 0.001, BytesSent: 512, Msgs: 1, Wall: 0.05},
+			},
+		},
+		{
+			Rank: 1, Total: 0.002, Compute: 0.002,
+			Wall: 0.22,
+			Phases: map[string]cluster.PhaseStats{
+				"alpha": {Compute: 0.002, Wall: 0.22},
+			},
+		},
+	}}
+}
+
+// TestProfileWallColumns checks that a report with real wall clocks grows
+// the wall column in the header, the per-rank rows, and the phase
+// breakdown, with the rank maxima surfaced.
+func TestProfileWallColumns(t *testing.T) {
+	rep := wallReport()
+	if !rep.HasWall() {
+		t.Fatal("fixture report has no wall measurements")
+	}
+	p := Profile(rep)
+	for _, want := range []string{
+		"real execution: 0.250000s wall",
+		"wall(s)",
+		"0.250000",
+		"0.220000",
+		"wall",
+	} {
+		if !strings.Contains(p, want) {
+			t.Fatalf("wall profile missing %q:\n%s", want, p)
+		}
+	}
+	// Phase breakdown reports the per-phase maximum across ranks.
+	if got := rep.PhaseWall("alpha"); got != 0.22 {
+		t.Fatalf("PhaseWall(alpha)=%g, want 0.22", got)
+	}
+}
+
+// TestProfileNoWallByDefault checks the in-process rendering stays exactly
+// wall-free, so simulated reports remain byte-comparable across transports.
+func TestProfileNoWallByDefault(t *testing.T) {
+	rep := sampleReport(t)
+	if rep.HasWall() {
+		t.Fatal("in-process report unexpectedly carries wall clocks")
+	}
+	p := Profile(rep)
+	if strings.Contains(p, "wall") {
+		t.Fatalf("in-process profile leaks a wall column:\n%s", p)
+	}
+}
+
+// TestJSONLWallField checks wall_s is emitted exactly when measured: wall
+// reports round-trip their values, in-process records omit the key
+// entirely (keeping the byte format identical to the wall-free era).
+func TestJSONLWallField(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, wallReport()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"wall_s"`) {
+		t.Fatalf("wall report JSONL lacks wall_s:\n%s", buf.String())
+	}
+	recs, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rank0Wall, alphaMax float64
+	for _, r := range recs {
+		if r.Kind == "rank" && r.Rank == 0 {
+			rank0Wall = r.Wall
+		}
+		if r.Kind == "phase" && r.Phase == "alpha" && r.Wall > alphaMax {
+			alphaMax = r.Wall
+		}
+	}
+	if rank0Wall != 0.25 || alphaMax != 0.22 {
+		t.Fatalf("wall round-trip: rank0=%g alphaMax=%g", rank0Wall, alphaMax)
+	}
+
+	buf.Reset()
+	if err := WriteJSONL(&buf, sampleReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"wall_s"`) {
+		t.Fatalf("in-process JSONL leaks wall_s:\n%s", buf.String())
+	}
+}

@@ -65,13 +65,16 @@ func (c *Coordinator) Serve() error {
 		addr string
 	}
 	workers := make([]joined, 0, c.p)
+	seen := make(map[string]int, c.p) // advertised addr → rank that claimed it
 	defer func() {
 		for _, w := range workers {
-			w.conn.Close()
+			w.conn.Close() //lint:droperr teardown after the rendezvous round; Serve's error is the report
 		}
 	}()
 	if tl, ok := c.ln.(*net.TCPListener); ok {
-		tl.SetDeadline(deadline)
+		if err := tl.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("transport: coordinator arm accept deadline: %w", err)
+		}
 	}
 	for len(workers) < c.p {
 		conn, err := c.ln.Accept()
@@ -79,13 +82,26 @@ func (c *Coordinator) Serve() error {
 			return fmt.Errorf("transport: coordinator accept (%d/%d workers joined): %w",
 				len(workers), c.p, err)
 		}
-		conn.SetDeadline(deadline)
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close() //lint:droperr rejecting a connection we could not arm a deadline on
+			continue
+		}
 		addr, err := readHello(conn)
 		if err != nil {
 			// A stray or broken client must not kill the rendezvous.
-			conn.Close()
+			conn.Close() //lint:droperr rejecting a broken hello; the rendezvous continues
 			continue
 		}
+		if prev, dup := seen[addr]; dup {
+			// Two workers advertising one address is a misconfiguration the
+			// mesh cannot survive (both ranks would be dialed at the same
+			// endpoint), so the whole rendezvous fails loudly instead of
+			// handing out a table that deadlocks the cluster.
+			conn.Close() //lint:droperr teardown of the duplicate joiner; the error below is the report
+			return fmt.Errorf("transport: coordinator: duplicate worker address %s (ranks %d and %d)",
+				addr, prev, len(workers))
+		}
+		seen[addr] = len(workers)
 		workers = append(workers, joined{conn: conn, addr: addr})
 	}
 

@@ -109,7 +109,7 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	// Rendezvous: hello → assignment.
 	rank, p, addrs, err := rendezvousTCP(cfg, advertise)
 	if err != nil {
-		ln.Close()
+		ln.Close() //lint:droperr teardown after rendezvous failure; that error is the report
 		return nil, err
 	}
 
@@ -139,18 +139,25 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	for i := 0; i < rank; i++ {
 		conn, err := dialRetry(addrs[i], deadline)
 		if err != nil {
-			t.Close()
+			t.Close() //lint:droperr Close never fails; the dial error is the report
 			return nil, fmt.Errorf("transport: rank %d: peer %d: %w", rank, i, err)
 		}
 		ident := wire.AppendUint64(nil, protocolVersion)
 		ident = wire.AppendUint64(ident, uint64(rank))
-		conn.SetWriteDeadline(deadline)
-		if err := wire.WriteFrame(conn, tagIdent, ident); err != nil {
-			conn.Close()
-			t.Close()
+		// Arm the write deadline before identifying; a failure here would
+		// leave the frame write unbounded, so it is an identify failure too.
+		err = conn.SetWriteDeadline(deadline)
+		if err == nil {
+			err = wire.WriteFrame(conn, tagIdent, ident)
+		}
+		if err == nil {
+			err = conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			conn.Close() //lint:droperr teardown of the failed connection; err is the report
+			t.Close()    //lint:droperr Close never fails; err is the report
 			return nil, fmt.Errorf("transport: rank %d: identify to peer %d: %w", rank, i, err)
 		}
-		conn.SetWriteDeadline(time.Time{})
 		t.attach(t.peers[i], conn)
 	}
 
@@ -162,7 +169,7 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		select {
 		case <-peer.ready:
 		case <-time.After(time.Until(deadline)):
-			t.Close()
+			t.Close() //lint:droperr Close never fails; the timeout is the report
 			return nil, fmt.Errorf("transport: rank %d: peer %d never connected within %v", rank, i, cfg.DialTimeout)
 		}
 	}
@@ -177,7 +184,9 @@ func rendezvousTCP(cfg TCPConfig, advertise string) (rank, p int, addrs []string
 		return 0, 0, nil, fmt.Errorf("transport: coordinator %s: %w", cfg.Coordinator, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if err := conn.SetDeadline(time.Now().Add(cfg.DialTimeout)); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: arm rendezvous deadline: %w", err)
+	}
 
 	hello := wire.AppendUint64(nil, protocolVersion)
 	hello = wire.AppendBytes(hello, []byte(advertise))
@@ -186,7 +195,9 @@ func rendezvousTCP(cfg TCPConfig, advertise string) (rank, p int, addrs []string
 	}
 	// The assignment only arrives once all P workers have joined, which can
 	// take much longer than one dial — wait up to the full rendezvous span.
-	conn.SetDeadline(time.Now().Add(cfg.DialTimeout + cfg.PeerTimeout))
+	if err := conn.SetDeadline(time.Now().Add(cfg.DialTimeout + cfg.PeerTimeout)); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: arm rendezvous deadline: %w", err)
+	}
 	tag, payload, err := wire.ReadFrame(conn)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("transport: awaiting rank assignment: %w", err)
@@ -244,29 +255,35 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout)); err != nil {
+			conn.Close() //lint:droperr rejecting a connection we could not arm a deadline on
+			continue
+		}
 		tag, payload, err := wire.ReadFrame(conn)
 		if err != nil || tag != tagIdent {
-			conn.Close()
+			conn.Close() //lint:droperr rejecting an unidentified connection
 			continue
 		}
 		ver, payload, err := wire.TakeUint64(payload)
 		if err != nil || ver != protocolVersion {
-			conn.Close()
+			conn.Close() //lint:droperr rejecting a version-mismatched connection
 			continue
 		}
 		r64, _, err := wire.TakeUint64(payload)
 		if err != nil || r64 >= uint64(t.p) || int(r64) <= t.rank {
-			conn.Close()
+			conn.Close() //lint:droperr rejecting a connection with an invalid rank
 			continue
 		}
-		conn.SetReadDeadline(time.Time{})
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			conn.Close() //lint:droperr rejecting a connection we could not disarm
+			continue
+		}
 		peer := t.peers[r64]
 		peer.mu.Lock()
 		dup := peer.conn != nil
 		peer.mu.Unlock()
 		if dup {
-			conn.Close()
+			conn.Close() //lint:droperr rejecting a duplicate connection for an attached peer
 			continue
 		}
 		t.attach(peer, conn)
@@ -277,7 +294,7 @@ func (t *TCP) acceptLoop() {
 // heartbeat goroutines.
 func (t *TCP) attach(p *tcpPeer, conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
+		tc.SetNoDelay(true) //lint:droperr best-effort latency tweak; Nagle on is merely slower
 	}
 	p.mu.Lock()
 	p.conn = conn
@@ -295,7 +312,12 @@ func (t *TCP) readLoop(p *tcpPeer) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	for {
-		p.conn.SetReadDeadline(time.Now().Add(t.cfg.PeerTimeout))
+		// A failed watchdog arm would let a dead peer hang us forever:
+		// treat it as the peer's death, not a condition to shrug off.
+		if err := p.conn.SetReadDeadline(time.Now().Add(t.cfg.PeerTimeout)); err != nil {
+			t.failPeer(p, fmt.Errorf("arm read watchdog: %w", err))
+			return
+		}
 		tag, payload, err := wire.ReadFrame(br)
 		if err != nil {
 			var ne net.Error
@@ -341,10 +363,15 @@ func (t *TCP) writeFrame(p *tcpPeer, tag int32, payload []byte) error {
 	if p.err != nil {
 		return &PeerDeadError{Rank: p.rank, Cause: p.err}
 	}
-	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
-	if err := wire.WriteFrame(p.conn, tag, payload); err != nil {
+	// A write with no deadline could block forever on a wedged peer, so a
+	// failed arm is handled exactly like a failed write.
+	err := p.conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
+	if err == nil {
+		err = wire.WriteFrame(p.conn, tag, payload)
+	}
+	if err != nil {
 		p.err = err
-		p.conn.Close()
+		p.conn.Close() //lint:droperr teardown of the failed connection; err is the report
 		p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: err})
 		return &PeerDeadError{Rank: p.rank, Cause: err}
 	}
@@ -359,7 +386,7 @@ func (t *TCP) failPeer(p *tcpPeer, cause error) {
 		p.err = cause
 	}
 	if p.conn != nil {
-		p.conn.Close()
+		p.conn.Close() //lint:droperr teardown of a dead peer; cause is the report
 	}
 	p.mu.Unlock()
 	p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: cause})
@@ -411,7 +438,7 @@ func (t *TCP) Recv(src int) (Message, error) {
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
-		t.ln.Close()
+		t.ln.Close() //lint:droperr best-effort teardown; Close always reports nil
 		for _, p := range t.peers {
 			if p != nil {
 				t.failPeer(p, ErrClosed)

@@ -429,3 +429,104 @@ func TestCoordinatorRejectsBadP(t *testing.T) {
 		t.Fatal("p=0 accepted")
 	}
 }
+
+// sendRawHello dials the coordinator and speaks a hello frame with the
+// given protocol version and advertised address, bypassing DialTCP.
+func sendRawHello(t *testing.T, coordAddr string, version uint64, advertise string) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := wire.AppendUint64(nil, version)
+	hello = wire.AppendBytes(hello, []byte(advertise))
+	if err := wire.WriteFrame(c, tagHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCoordinatorRejectsDuplicateAddress checks the duplicate-join error
+// path: two workers advertising the same peer address would produce an
+// address table that deadlocks the mesh, so the rendezvous must fail loudly
+// instead of assigning ranks.
+func TestCoordinatorRejectsDuplicateAddress(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Serve() }()
+
+	c1 := sendRawHello(t, coord.Addr(), protocolVersion, "10.0.0.1:7000")
+	defer c1.Close()
+	c2 := sendRawHello(t, coord.Addr(), protocolVersion, "10.0.0.1:7000")
+	defer c2.Close()
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "duplicate worker address") {
+			t.Fatalf("err=%v, want duplicate worker address", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never rejected the duplicate join")
+	}
+}
+
+// TestCoordinatorRejectsVersionMismatch checks that a worker speaking the
+// wrong protocol version is turned away without consuming a rank slot: the
+// correctly-versioned worker that follows still completes the rendezvous.
+func TestCoordinatorRejectsVersionMismatch(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Serve() }()
+
+	stale := sendRawHello(t, coord.Addr(), protocolVersion+1, "10.0.0.9:7000")
+	defer stale.Close()
+
+	ep, err := DialTCP(TCPConfig{Coordinator: coord.Addr(), DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("real worker rejected: %v", err)
+	}
+	defer ep.Close()
+	if ep.Rank() != 0 || ep.P() != 1 {
+		t.Fatalf("rank=%d p=%d", ep.Rank(), ep.P())
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rendezvous failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never finished")
+	}
+}
+
+// TestCoordinatorReportsJoinCountOnTimeout pins the shape of the
+// late-worker diagnostic: the error must say how many workers made it, so
+// an operator knows which host to chase.
+func TestCoordinatorReportsJoinCountOnTimeout(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", 3, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Serve() }()
+
+	// Exactly one worker joins (raw hello: no mesh needed); the other two
+	// never show up.
+	c := sendRawHello(t, coord.Addr(), protocolVersion, "10.0.0.2:7000")
+	defer c.Close()
+
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "(1/3 workers joined)") {
+			t.Fatalf("err=%v, want (1/3 workers joined)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never timed out")
+	}
+}

@@ -270,6 +270,7 @@ func StartCoordinator(addr string, ranks int) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{inner: inner, done: make(chan error, 1)}
+	//lint:detached joined later via Coordinator.Wait's receive on c.done; buffered so Serve never leaks
 	go func() { c.done <- inner.Serve() }()
 	return c, nil
 }

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Release gate: build, vet, format check, full tests, quick benches.
+# Release gate: format check, static analysis, build, vet, full tests,
+# full race matrix, smokes, quick benches. Mirrors .github/workflows/ci.yml.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,19 +14,28 @@ fi
 echo "== build =="
 go build ./...
 
+echo "== mndmst-lint (project invariants) =="
+go run ./cmd/mndmst-lint ./...
+echo "== mndmst-lint (self-test: bad corpus must fail) =="
+if go run ./cmd/mndmst-lint -q ./internal/lint/testdata/src/bad >/dev/null 2>&1; then
+    echo "mndmst-lint accepted the known-bad corpus" >&2
+    exit 1
+fi
+
 echo "== vet =="
 go vet ./...
 
 echo "== tests =="
 go test ./...
 
-echo "== race (core packages) =="
-go test -race ./internal/transport/ ./internal/cluster/ ./internal/boruvka/ ./internal/dsu/ ./internal/hashtable/
+echo "== race (full matrix) =="
+go test -race ./...
 
 echo "== multi-process smoke (loopback TCP workers) =="
 go run ./cmd/mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify
 
 echo "== benches (smoke) =="
-go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost' -benchtime 1x .
+MNDMST_BENCH_SCALE="${MNDMST_BENCH_SCALE:-0.1}" \
+    go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost' -benchtime 1x .
 
 echo "all checks passed"

@@ -261,14 +261,11 @@ func (r *Rank) chargeCommUntil(t float64) {
 	r.phaseStats().Comm += d
 }
 
-// Send transfers data to rank dst with the given tag. The sender is charged
-// the full α–β transfer cost (a blocking send); the message arrives at the
-// sender's post-send clock. Data is referenced, not copied, on the
-// in-process transport: the sender must not modify the slice afterwards
-// (ranks are address-space-separate by convention, and all call sites build
-// fresh buffers). A dead peer on a real transport surfaces as this rank's
-// error from Run.
-func (r *Rank) Send(dst, tag int, data []byte) {
+// chargeSend books the α–β cost and traffic counters of sending len(data)
+// bytes and returns the message carrying the post-send arrival clock. Send
+// and Isend charge identically, so a program that swaps one for the other
+// reports bit-identical simulated times over every backend.
+func (r *Rank) chargeSend(dst, tag int, data []byte) transport.Message {
 	if dst < 0 || dst >= r.c.p {
 		panic(fmt.Sprintf("cluster: send to invalid rank %d", dst))
 	}
@@ -281,8 +278,36 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 	ps.Msgs++
 	r.bytesSent += int64(len(data))
 	r.msgsSent++
-	if err := r.ep.Send(dst, transport.Message{Tag: int32(tag), Arrival: r.now, Data: data}); err != nil {
+	return transport.Message{Tag: int32(tag), Arrival: r.now, Data: data}
+}
+
+// Send transfers data to rank dst with the given tag. The sender is charged
+// the full α–β transfer cost (a blocking send); the message arrives at the
+// sender's post-send clock. Data is referenced, not copied, on the
+// in-process transport: the sender must not modify the slice afterwards
+// (ranks are address-space-separate by convention, and all call sites build
+// fresh buffers). A dead peer on a real transport surfaces as this rank's
+// error from Run.
+func (r *Rank) Send(dst, tag int, data []byte) {
+	msg := r.chargeSend(dst, tag, data)
+	if err := r.ep.Send(dst, msg); err != nil {
 		panic(commFailure{fmt.Errorf("send to rank %d: %w", dst, err)})
+	}
+}
+
+// Isend transfers data to rank dst asynchronously: on a real transport the
+// message is handed to the peer's bounded outbound queue and a writer
+// goroutine performs the socket writes underneath, so the rank program
+// never blocks inside a kernel write while it still owes the cluster a
+// receive. The simulated cost model is identical to Send — the modeled MPI
+// machine charges an eager send either way — so swapping Send for Isend
+// changes only real-world liveness, never the virtual-time reports.
+// Sustained backpressure (SendQueueFullError) and dead peers surface as
+// this rank's error from Run. The caller must not modify data afterwards.
+func (r *Rank) Isend(dst, tag int, data []byte) {
+	msg := r.chargeSend(dst, tag, data)
+	if err := r.ep.Isend(dst, msg); err != nil {
+		panic(commFailure{fmt.Errorf("isend to rank %d: %w", dst, err)})
 	}
 }
 

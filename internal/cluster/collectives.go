@@ -249,3 +249,20 @@ func (r *Rank) Allreduce(vals []int64, op ReduceOp) []int64 {
 func (r *Rank) AllreduceScalar(v int64, op ReduceOp) int64 {
 	return r.Allreduce([]int64{v}, op)[0]
 }
+
+// StatAllreduce combines vals elementwise across all ranks with op and
+// returns the result without charging any virtual time: it is for
+// exchanging bookkeeping about the simulation (per-rank peaks, iteration
+// counts) that the modeled MPI program would not send, so the synchronized
+// clocks — and every golden simulated-time report — stay exactly as if the
+// call were absent. The collective still synchronizes ranks in real time,
+// so all participants must call it at the same program point.
+func (r *Rank) StatAllreduce(vals []int64, op ReduceOp) []int64 {
+	if vals == nil {
+		vals = []int64{}
+	}
+	_, red := r.c.coll.resolve(r, vals, op)
+	out := make([]int64, len(red))
+	copy(out, red)
+	return out
+}

@@ -152,9 +152,25 @@ func run(el *graph.EdgeList, p int, ep transport.Transport, machine cost.Machine
 		if err != nil {
 			return err
 		}
-		iterations[r.ID()] = rm.iter
-		levels[r.ID()] = rm.lvls
-		peaks[r.ID()] = rm.peak
+		// Result promises *global* run statistics: Iterations/Levels are
+		// the (identical-by-construction) global counts and PeakEdges is
+		// the per-rank maximum. A distributed process hosts only its own
+		// rank, so reduce the scalars across ranks — a zero-virtual-cost
+		// stat collective, keeping simulated reports bit-identical to
+		// runs without it — and assert the iteration/level agreement that
+		// the in-process mode gets for free (max == min, checked by
+		// reducing the negated values alongside).
+		red := r.StatAllreduce([]int64{
+			int64(rm.iter), int64(rm.lvls), int64(rm.peak),
+			int64(-rm.iter), int64(-rm.lvls),
+		}, cluster.OpMax)
+		if red[0] != -red[3] || red[1] != -red[4] {
+			return fmt.Errorf("core: rank %d: global state divergence: iterations [%d,%d], levels [%d,%d] across ranks",
+				r.ID(), -red[3], red[0], -red[4], red[1])
+		}
+		iterations[r.ID()] = int(red[0])
+		levels[r.ID()] = int(red[1])
+		peaks[r.ID()] = int(red[2])
 		if f != nil {
 			forest = f
 		}
@@ -357,13 +373,14 @@ func (m *rankMain) run() (*mst.Forest, error) {
 					m.notePeak()
 				}
 			} else {
-				// Ring-based segment exchange (§3.4): send one segment to
-				// the left neighbour, receive one from the right.
+				// Ring-based segment exchange (§3.4): one chunk-interleaved
+				// ring step — the segment streams to the left neighbour
+				// while the right neighbour's streams in, so the whole ring
+				// progresses without any rank blocking in a send.
 				sendTo, recvFrom := merge.RingNeighbors(grp, r.ID())
 				kept, sent := merge.SplitSegment(m.owned, len(grp))
 				keptE, movedE := merge.SplitEdges(m.edges, merge.ToSet(kept), merge.ToSet(sent))
-				merge.SendPayload(r, sendTo, merge.Payload{Comps: sent, Edges: movedE}, m.cfg.Chunk)
-				pl, err := merge.RecvPayload(r, recvFrom, m.cfg.Chunk)
+				pl, err := merge.ExchangeSegments(r, sendTo, recvFrom, merge.Payload{Comps: sent, Edges: movedE}, m.cfg.Chunk)
 				if err != nil {
 					return nil, err
 				}

@@ -124,6 +124,20 @@ func TestRunDistributedMatchesInProcess(t *testing.T) {
 		t.Fatalf("iterations/levels %d/%d vs %d/%d",
 			root.Iterations, want.Iterations, want.Iterations, want.Levels)
 	}
+	// Acceptance bar 3: Result documents *global* run statistics. A
+	// distributed process hosts a single rank, so PeakEdges must still be
+	// the cross-rank maximum — identical to the in-process answer — and
+	// every rank (not only rank 0) must report the same global scalars.
+	if root.PeakEdges != want.PeakEdges {
+		t.Fatalf("PeakEdges %d (tcp rank 0) != %d (in-process global max)", root.PeakEdges, want.PeakEdges)
+	}
+	for r := 1; r < p; r++ {
+		if got[r].PeakEdges != want.PeakEdges || got[r].Iterations != want.Iterations || got[r].Levels != want.Levels {
+			t.Fatalf("rank %d reports local stats: peak=%d iter=%d lvls=%d, want global %d/%d/%d",
+				r, got[r].PeakEdges, got[r].Iterations, got[r].Levels,
+				want.PeakEdges, want.Iterations, want.Levels)
+		}
+	}
 }
 
 func TestRunDistributedTwoRanksRoadGraph(t *testing.T) {

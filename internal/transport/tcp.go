@@ -39,7 +39,30 @@ type TCPConfig struct {
 	// frame nor a heartbeat for this long is declared dead and every
 	// pending Recv from it errors out (default 5s).
 	PeerTimeout time.Duration
+	// SendQueueBytes bounds the payload bytes queued per peer for
+	// asynchronous delivery (default 32 MiB). A full queue applies
+	// backpressure to Isend callers; at least one frame is always admitted
+	// so an oversized frame cannot wedge the sender.
+	SendQueueBytes int64
+	// SendQueueTimeout bounds how long Isend blocks on a full outbound
+	// queue and how long Send waits for its flush before surfacing a
+	// SendQueueFullError (default: SendTimeout).
+	SendQueueTimeout time.Duration
+	// RecvWindowBytes, when positive, pauses the per-peer reader once that
+	// many payload bytes sit undelivered in the inbox, propagating
+	// backpressure to the sender instead of buffering without bound
+	// (default 0: unbounded, the historical behaviour).
+	RecvWindowBytes int64
+	// SocketBufferBytes, when positive, caps the kernel send and receive
+	// buffers per connection (best effort). Mostly for tests that need
+	// bounded end-to-end buffering to reproduce flow-control behaviour
+	// deterministically; production runs should leave the OS autotuning on.
+	SocketBufferBytes int
 }
+
+// defaultSendQueueBytes is the per-peer outbound queue bound when
+// TCPConfig.SendQueueBytes is unset.
+const defaultSendQueueBytes = 32 << 20
 
 func (c TCPConfig) withDefaults() TCPConfig {
 	if c.Listen == "" {
@@ -56,6 +79,12 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 5 * time.Second
+	}
+	if c.SendQueueBytes <= 0 {
+		c.SendQueueBytes = defaultSendQueueBytes
+	}
+	if c.SendQueueTimeout <= 0 {
+		c.SendQueueTimeout = c.SendTimeout
 	}
 	return c
 }
@@ -77,13 +106,15 @@ type TCP struct {
 
 // tcpPeer is one pooled connection to a remote rank: a single long-lived
 // TCP stream carrying both directions' frames, a reader goroutine feeding
-// the inbox, and a heartbeat goroutine proving liveness.
+// the inbox, and a writer goroutine draining the bounded outbound queue
+// (sending heartbeats when it is idle).
 type tcpPeer struct {
 	rank  int
 	inbox *queue
+	out   *sendq
 	ready chan struct{} // closed once conn is attached
 
-	mu   sync.Mutex // guards conn writes and err
+	mu   sync.Mutex // guards conn and err; never held across a socket write
 	conn net.Conn
 	err  error // sticky death marker
 }
@@ -126,7 +157,12 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		if i == rank {
 			continue
 		}
-		t.peers[i] = &tcpPeer{rank: i, inbox: newQueue(), ready: make(chan struct{})}
+		t.peers[i] = &tcpPeer{
+			rank:  i,
+			inbox: newQueue(),
+			out:   newSendq(cfg.SendQueueBytes),
+			ready: make(chan struct{}),
+		}
 	}
 
 	// Accept inbound connections from higher-ranked peers…
@@ -291,10 +327,14 @@ func (t *TCP) acceptLoop() {
 }
 
 // attach wires a connection to its peer slot and starts the reader and
-// heartbeat goroutines.
+// writer goroutines.
 func (t *TCP) attach(p *tcpPeer, conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) //lint:droperr best-effort latency tweak; Nagle on is merely slower
+		if b := t.cfg.SocketBufferBytes; b > 0 {
+			tc.SetReadBuffer(b)  //lint:droperr best-effort buffer sizing; OS default is merely bigger
+			tc.SetWriteBuffer(b) //lint:droperr best-effort buffer sizing; OS default is merely bigger
+		}
 	}
 	p.mu.Lock()
 	p.conn = conn
@@ -302,7 +342,7 @@ func (t *TCP) attach(p *tcpPeer, conn net.Conn) {
 	close(p.ready)
 	t.wg.Add(2)
 	go t.readLoop(p)
-	go t.heartbeatLoop(p)
+	go t.writeLoop(p)
 }
 
 // readLoop turns the peer's frame stream into inbox messages. A read
@@ -312,6 +352,17 @@ func (t *TCP) readLoop(p *tcpPeer) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	for {
+		// Receive-window flow control: once the inbox holds RecvWindowBytes
+		// of undelivered payload, stop reading until the application drains
+		// it. The pause deliberately happens *before* arming the watchdog —
+		// a full window means we are the slow party, not the peer — and the
+		// kernel buffers filling up is exactly the backpressure signal the
+		// peer's bounded send queue is designed to absorb.
+		if w := t.cfg.RecvWindowBytes; w > 0 {
+			if err := p.inbox.waitBelow(w); err != nil {
+				return // peer already failed; nothing left to deliver into
+			}
+		}
 		// A failed watchdog arm would let a dead peer hang us forever:
 		// treat it as the peer's death, not a condition to shrug off.
 		if err := p.conn.SetReadDeadline(time.Now().Add(t.cfg.PeerTimeout)); err != nil {
@@ -339,57 +390,74 @@ func (t *TCP) readLoop(p *tcpPeer) {
 	}
 }
 
-// heartbeatLoop keeps an idle connection's watchdog fed.
-func (t *TCP) heartbeatLoop(p *tcpPeer) {
+// writeLoop is the peer's single writer goroutine: it drains the bounded
+// outbound queue onto the socket, and proves liveness with a heartbeat
+// frame whenever the queue stays idle for a HeartbeatInterval. Because all
+// socket writes funnel through this one goroutine, an Isend caller never
+// sits inside a kernel `write` — the blocking happens here, bounded by
+// SendTimeout, while the rank program stays free to post receives.
+func (t *TCP) writeLoop(p *tcpPeer) {
 	defer t.wg.Done()
-	ticker := time.NewTicker(t.cfg.HeartbeatInterval)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-ticker.C:
-			if err := t.writeFrame(p, tagHeartbeat, nil); err != nil {
-				return // readLoop or failPeer handles the report
-			}
-		case <-t.closed:
-			return
+		f, ok, exit := p.out.take(t.cfg.HeartbeatInterval)
+		if exit {
+			return // queue failed, or closed and fully drained
 		}
+		if !ok {
+			// Idle: feed the peer's watchdog.
+			if t.writeFrame(p, tagHeartbeat, nil) != nil {
+				return // writeFrame already failed the peer and the queue
+			}
+			continue
+		}
+		if t.writeFrame(p, f.tag, f.payload) != nil {
+			return // frames in flight are lost with the connection
+		}
+		p.out.complete()
 	}
 }
 
-// writeFrame serializes one frame onto the peer's pooled connection.
+// writeFrame serializes one frame onto the peer's pooled connection. Only
+// the writer goroutine (and the pre-attach identify handshake) calls it, so
+// no lock is held across the blocking write; p.mu guards only the conn/err
+// snapshot, which keeps failPeer from ever waiting on a wedged write.
 func (t *TCP) writeFrame(p *tcpPeer, tag int32, payload []byte) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.err != nil {
-		return &PeerDeadError{Rank: p.rank, Cause: p.err}
+	conn, errSticky := p.conn, p.err
+	p.mu.Unlock()
+	if errSticky != nil {
+		return &PeerDeadError{Rank: p.rank, Cause: errSticky}
 	}
 	// A write with no deadline could block forever on a wedged peer, so a
 	// failed arm is handled exactly like a failed write.
-	err := p.conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
+	err := conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
 	if err == nil {
-		err = wire.WriteFrame(p.conn, tag, payload)
+		err = wire.WriteFrame(conn, tag, payload)
 	}
 	if err != nil {
-		p.err = err
-		p.conn.Close() //lint:droperr teardown of the failed connection; err is the report
-		p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: err})
+		t.failPeer(p, err)
 		return &PeerDeadError{Rank: p.rank, Cause: err}
 	}
 	return nil
 }
 
-// failPeer marks a peer dead: its connection closes and every pending and
-// future Recv from it returns a PeerDeadError. The first cause is kept.
+// failPeer marks a peer dead: its connection closes (unblocking a wedged
+// writer), queued outbound frames are dropped, and every pending and future
+// Recv, Isend, and flush against it returns a PeerDeadError. The first
+// cause is kept.
 func (t *TCP) failPeer(p *tcpPeer, cause error) {
 	p.mu.Lock()
 	if p.err == nil {
 		p.err = cause
 	}
-	if p.conn != nil {
-		p.conn.Close() //lint:droperr teardown of a dead peer; cause is the report
-	}
+	conn := p.conn
 	p.mu.Unlock()
-	p.inbox.fail(&PeerDeadError{Rank: p.rank, Cause: cause})
+	if conn != nil {
+		conn.Close() //lint:droperr teardown of a dead peer; cause is the report
+	}
+	dead := &PeerDeadError{Rank: p.rank, Cause: cause}
+	p.inbox.fail(dead)
+	p.out.fail(dead)
 }
 
 // Rank reports this endpoint's assigned rank.
@@ -398,11 +466,14 @@ func (t *TCP) Rank() int { return t.rank }
 // P reports the cluster size.
 func (t *TCP) P() int { return t.p }
 
-// Send frames m and writes it to dst's pooled connection (or the local
-// queue for self-sends). The frame carries the virtual arrival time ahead
-// of the payload so the receiver's simulated clock advances exactly as it
-// would in-process.
-func (t *TCP) Send(dst int, m Message) error {
+// Isend frames m — the virtual arrival time ahead of the payload, so the
+// receiver's simulated clock advances exactly as it would in-process — and
+// enqueues it on dst's bounded outbound queue for the writer goroutine to
+// deliver. It blocks only under backpressure: a queue that stays full past
+// SendQueueTimeout yields a SendQueueFullError, and a dead peer a
+// PeerDeadError, so a misbehaving destination becomes a diagnosable rank
+// error instead of a silent wedge.
+func (t *TCP) Isend(dst int, m Message) error {
 	if dst < 0 || dst >= t.p {
 		return fmt.Errorf("transport: send to invalid rank %d of %d", dst, t.p)
 	}
@@ -418,7 +489,31 @@ func (t *TCP) Send(dst int, m Message) error {
 	payload := make([]byte, 0, 8+len(m.Data))
 	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(m.Arrival))
 	payload = append(payload, m.Data...)
-	return t.writeFrame(t.peers[dst], m.Tag, payload)
+	timeout := t.cfg.SendQueueTimeout
+	err := t.peers[dst].out.put(outFrame{tag: m.Tag, payload: payload}, time.Now().Add(timeout))
+	if _, full := err.(errQueueTimeout); full {
+		return &SendQueueFullError{Rank: dst, Wait: timeout}
+	}
+	return err
+}
+
+// Send is Isend plus a flush: it returns once every frame enqueued to dst
+// so far — this one included — has been handed to the kernel. Per-pair FIFO
+// order with earlier Isends is preserved because both share the writer's
+// single ordered queue.
+func (t *TCP) Send(dst int, m Message) error {
+	if err := t.Isend(dst, m); err != nil {
+		return err
+	}
+	if dst == t.rank {
+		return nil
+	}
+	timeout := t.cfg.SendQueueTimeout
+	err := t.peers[dst].out.flush(time.Now().Add(timeout))
+	if _, full := err.(errQueueTimeout); full {
+		return &SendQueueFullError{Rank: dst, Wait: timeout}
+	}
+	return err
 }
 
 // Recv blocks for the next message from src; it errors out (instead of
@@ -433,11 +528,30 @@ func (t *TCP) Recv(src int) (Message, error) {
 	return t.peers[src].inbox.take()
 }
 
-// Close tears the endpoint down: the listener and every peer connection
-// close, heartbeats stop, and all pending Recvs error with ErrClosed.
+// Close tears the endpoint down: outbound queues stop accepting frames and
+// get a bounded window to drain onto the wire (so a Close right after an
+// Isend does not eat the message), then the listener and every peer
+// connection close and all pending Recvs error with ErrClosed.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
+		// Graceful drain, bounded by one shared absolute deadline so a
+		// wedged peer cannot stretch teardown to peers × timeout.
+		drain := t.cfg.SendTimeout
+		if drain > maxCloseDrain {
+			drain = maxCloseDrain
+		}
+		deadline := time.Now().Add(drain)
+		for _, p := range t.peers {
+			if p != nil {
+				p.out.closeq()
+			}
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.out.flush(deadline) //lint:droperr best-effort drain on teardown; Close always reports nil
+			}
+		}
 		t.ln.Close() //lint:droperr best-effort teardown; Close always reports nil
 		for _, p := range t.peers {
 			if p != nil {
@@ -448,3 +562,7 @@ func (t *TCP) Close() error {
 	})
 	return nil
 }
+
+// maxCloseDrain caps how long Close waits for queued asynchronous sends to
+// reach the kernel before tearing connections down.
+const maxCloseDrain = 2 * time.Second

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Message is one point-to-point transfer between ranks.
@@ -39,28 +40,54 @@ type Message struct {
 }
 
 // Transport delivers messages for one rank of a P-rank cluster. Per
-// (src, dst) pair, delivery is FIFO. Implementations must allow Send and
-// Recv from different goroutines, and Recv on distinct sources
+// (src, dst) pair, delivery is FIFO — Send and Isend traffic to the same
+// destination shares one ordered stream. Implementations must allow Send,
+// Isend, and Recv from different goroutines, and Recv on distinct sources
 // concurrently; Close unblocks every pending Recv with an error.
 type Transport interface {
 	// Rank reports this endpoint's rank id in [0, P).
 	Rank() int
 	// P reports the cluster size.
 	P() int
-	// Send enqueues m for rank dst (self-sends are allowed). A failed or
-	// dead peer returns an error; the in-process backend never fails.
+	// Send delivers m to rank dst synchronously: when it returns nil the
+	// message has been handed to the delivery substrate (the kernel on a
+	// real transport). A failed or dead peer returns an error; the
+	// in-process backend never fails.
 	Send(dst int, m Message) error
+	// Isend enqueues m for asynchronous delivery to rank dst and returns
+	// as soon as the bounded per-peer outbound queue accepts it; a writer
+	// goroutine performs the blocking transfer underneath. The caller must
+	// not modify m.Data afterwards. Backpressure that outlasts the
+	// transport's queue deadline surfaces as a SendQueueFullError, and a
+	// dead peer as a PeerDeadError — Isend never blocks indefinitely. The
+	// in-process backend is already non-blocking, so Isend equals Send.
+	Isend(dst int, m Message) error
 	// Recv blocks until the next message from rank src arrives and removes
 	// it. It returns an error — rather than blocking forever — once the
 	// peer is known dead or the transport is closed.
 	Recv(src int) (Message, error)
-	// Close releases the endpoint: pending and future Recvs error out,
-	// connections (if any) are torn down. Close is idempotent.
+	// Close releases the endpoint: queued asynchronous sends are drained
+	// (bounded), then pending and future Recvs error out and connections
+	// (if any) are torn down. Close is idempotent.
 	Close() error
 }
 
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("transport: closed")
+
+// SendQueueFullError reports an Isend (or Send) whose outbound queue to a
+// rank stayed full past the backpressure deadline: the peer is alive but
+// not consuming, or the link cannot keep up. Surfacing it as an error —
+// instead of blocking forever — is what keeps a misscheduled exchange a
+// diagnosable failure rather than a cluster-wide hang.
+type SendQueueFullError struct {
+	Rank int
+	Wait time.Duration
+}
+
+func (e *SendQueueFullError) Error() string {
+	return fmt.Sprintf("transport: outbound queue to rank %d full for %v (peer alive but not draining)", e.Rank, e.Wait)
+}
 
 // PeerDeadError reports a rank whose endpoint failed: its connection broke,
 // it stopped heartbeating, or it closed while messages were still expected.
@@ -81,10 +108,11 @@ func (e *PeerDeadError) Unwrap() error { return e.Cause }
 // program even though the modeled MPI program would not. Once failed, every
 // pending and future take returns the failure.
 type queue struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []Message
-	err  error // sticky failure; messages already queued drain first
+	mu    sync.Mutex
+	cond  *sync.Cond
+	msgs  []Message
+	bytes int64 // sum of len(Data) over msgs — the receive-window gauge
+	err   error // sticky failure; messages already queued drain first
 }
 
 func newQueue() *queue {
@@ -97,8 +125,9 @@ func newQueue() *queue {
 func (q *queue) put(msg Message) {
 	q.mu.Lock()
 	q.msgs = append(q.msgs, msg)
+	q.bytes += int64(len(msg.Data))
 	q.mu.Unlock()
-	q.cond.Signal()
+	q.cond.Broadcast()
 }
 
 // take blocks until a message is available (or the queue has failed) and
@@ -117,7 +146,23 @@ func (q *queue) take() (Message, error) {
 	copy(q.msgs, q.msgs[1:])
 	q.msgs[len(q.msgs)-1] = Message{}
 	q.msgs = q.msgs[:len(q.msgs)-1]
+	q.bytes -= int64(len(msg.Data))
+	q.cond.Broadcast()
 	return msg, nil
+}
+
+// waitBelow blocks until the queued payload bytes drop below limit or the
+// queue fails. It is the receive-window pause used by flow-controlled
+// readers: the reader parks here instead of buffering without bound, which
+// propagates backpressure to the sender's bounded queue. Returns the sticky
+// failure if the queue fails while waiting.
+func (q *queue) waitBelow(limit int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.bytes >= limit && q.err == nil {
+		q.cond.Wait()
+	}
+	return q.err
 }
 
 // fail marks the queue failed and wakes all waiters. The first cause wins.

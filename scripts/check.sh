@@ -31,11 +31,21 @@ go test ./...
 echo "== race (full matrix) =="
 go test -race ./...
 
+echo "== deadlock regression (race, tight timeout) =="
+# The merge-communication deadlock class must stay dead: the legacy
+# send-all-then-receive-all schedule wedges over bounded buffers while the
+# interleaved engine completes. A tight -timeout turns any reintroduced
+# hang into a fast failure instead of a 10-minute stall.
+go test -race -timeout 90s \
+    -run 'TestLegacyExchangeDeadlocksUnderBoundedBuffers|TestExchangeDeltasBoundedBuffersNoDeadlock|TestExchangeMemTCPSimulatedTimeParity' \
+    ./internal/merge/
+
 echo "== multi-process smoke (loopback TCP workers) =="
 go run ./cmd/mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify
 
-echo "== benches (smoke) =="
+echo "== benches (smoke; emits BENCH_comm.json) =="
 MNDMST_BENCH_SCALE="${MNDMST_BENCH_SCALE:-0.1}" \
-    go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost' -benchtime 1x .
+    go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost|BenchmarkExchangeComm' -benchtime 1x .
+cat BENCH_comm.json
 
 echo "all checks passed"

@@ -61,6 +61,16 @@ func run(args []string, out io.Writer) error {
 		group    = fs.Int("group", 4, "hierarchical merging group size")
 		verify   = fs.Bool("verify", false, "rank 0 cross-checks the forest against sequential Kruskal")
 		rankProf = fs.Bool("rankprofile", false, "rank 0 prints the gathered per-rank profile")
+
+		chaosSeed    = fs.Int64("chaos-seed", 0, "seed for the fault-injection layer (used when any -chaos-* flag is set)")
+		chaosDrop    = fs.Float64("chaos-drop", 0, "per-message drop probability in [0,1]")
+		chaosCorrupt = fs.Float64("chaos-corrupt", 0, "per-message corruption probability in [0,1]")
+		chaosDup     = fs.Float64("chaos-dup", 0, "per-message duplication probability in [0,1]")
+		chaosReorder = fs.Float64("chaos-reorder", 0, "per-message reorder probability in [0,1]")
+		chaosDelay   = fs.Float64("chaos-delay", 0, "per-message delay probability in [0,1]")
+		chaosDelayMx = fs.Duration("chaos-delay-max", 0, "upper bound of one injected delay (default 2ms)")
+		chaosRecvTO  = fs.Duration("chaos-recv-timeout", 0, "receive deadline under chaos (default 30s)")
+		chaosCrash   = fs.Uint64("chaos-crash-step", 0, "crash-stop this worker at its Nth transport operation (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +122,21 @@ func run(args []string, out io.Writer) error {
 		UseGPU:      *useGPU,
 		GPUsPerNode: *gpus,
 		GroupSize:   *group,
+	}
+	if *chaosDrop > 0 || *chaosCorrupt > 0 || *chaosDup > 0 || *chaosReorder > 0 ||
+		*chaosDelay > 0 || *chaosCrash > 0 || *chaosSeed != 0 {
+		opts.Chaos = &mndmst.ChaosConfig{
+			Seed:        *chaosSeed,
+			DropProb:    *chaosDrop,
+			CorruptProb: *chaosCorrupt,
+			DupProb:     *chaosDup,
+			ReorderProb: *chaosReorder,
+			DelayProb:   *chaosDelay,
+			DelayMax:    *chaosDelayMx,
+			RecvTimeout: *chaosRecvTO,
+			CrashStep:   *chaosCrash,
+		}
+		fmt.Fprintf(out, "chaos: fault injection armed (seed %d)\n", *chaosSeed)
 	}
 	switch *machine {
 	case "cray":

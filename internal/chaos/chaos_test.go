@@ -1,0 +1,446 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mndmst/internal/chaos"
+	"mndmst/internal/transport"
+	"mndmst/internal/wire"
+)
+
+// wrapMem builds a chaos-wrapped in-process pair/cluster.
+func wrapMem(p int, cfg chaos.Config) []*chaos.Transport {
+	mems := transport.NewMem(p)
+	eps := make([]transport.Transport, p)
+	for i, m := range mems {
+		eps[i] = m
+	}
+	return chaos.Wrap(eps, cfg)
+}
+
+func msg(tag int32, s string) transport.Message {
+	return transport.Message{Tag: tag, Arrival: float64(tag), Data: []byte(s)}
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	eps := wrapMem(2, chaos.Config{Seed: 1})
+	defer closeAll(eps)
+	want := msg(7, "hello")
+	if err := eps[0].Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[1].Recv(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != want.Tag || got.Arrival != want.Arrival || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if j := eps[0].Journal(); len(j) != 0 {
+		t.Fatalf("clean run journaled faults: %v", j)
+	}
+}
+
+func TestBenignFaultsDeliverInOrder(t *testing.T) {
+	const n = 200
+	cfg := chaos.Config{
+		Seed:        42,
+		DupProb:     0.2,
+		ReorderProb: 0.2,
+		DelayProb:   0.2,
+		DelayMax:    200 * time.Microsecond,
+		RecvTimeout: 5 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var sendErr error
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := eps[0].Send(1, msg(int32(i), fmt.Sprintf("payload-%d", i))); err != nil {
+				sendErr = err
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Tag != int32(i) || string(m.Data) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("message %d out of order or corrupted: tag=%d data=%q", i, m.Tag, m.Data)
+		}
+	}
+	wg.Wait()
+	if sendErr != nil {
+		t.Fatalf("send: %v", sendErr)
+	}
+	if j := eps[0].Journal(); len(j) == 0 {
+		t.Fatal("benign chaos run injected no faults — probabilities not applied")
+	}
+}
+
+func TestScriptedCorruptDetected(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        3,
+		Faults:      []chaos.ScriptedFault{{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultCorrupt}},
+		RecvTimeout: 2 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	if err := eps[0].Send(1, msg(1, "to be corrupted")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eps[1].Recv(0)
+	var pde *transport.PeerDeadError
+	var cfe *chaos.CorruptFrameError
+	if !errors.As(err, &pde) || !errors.As(err, &cfe) {
+		t.Fatalf("want PeerDeadError wrapping CorruptFrameError, got %v", err)
+	}
+	if !errors.Is(err, wire.ErrBadChecksum) {
+		t.Fatalf("corruption not caught by the wire CRC path: %v", err)
+	}
+	if cfe.Src != 0 {
+		t.Fatalf("wrong src in %v", cfe)
+	}
+	// The link is sticky-failed: a second Recv fails the same way.
+	if _, err2 := eps[1].Recv(0); !errors.As(err2, &cfe) {
+		t.Fatalf("link not sticky after corruption: %v", err2)
+	}
+}
+
+func TestScriptedDropDeadline(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        4,
+		Faults:      []chaos.ScriptedFault{{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultDrop}},
+		RecvTimeout: 150 * time.Millisecond,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	if err := eps[0].Send(1, msg(1, "dropped")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := eps[1].Recv(0)
+	elapsed := time.Since(start)
+	var de *chaos.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlineError, got %v", err)
+	}
+	if de.Want != 0 || de.Src != 0 {
+		t.Fatalf("wrong coordinates in %v", de)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline fired after %v — not bounded", elapsed)
+	}
+	want := chaos.Event{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultDrop}
+	if j := eps[0].Journal(); len(j) != 1 || j[0] != want {
+		t.Fatalf("journal %v, want [%v]", j, want)
+	}
+}
+
+func TestScriptedDropWindowOverflow(t *testing.T) {
+	const window = 4
+	cfg := chaos.Config{
+		Seed:          5,
+		Faults:        []chaos.ScriptedFault{{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultDrop}},
+		ReorderWindow: window,
+		RecvTimeout:   5 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	for i := 0; i <= window+1; i++ {
+		if err := eps[0].Send(1, msg(int32(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := eps[1].Recv(0)
+	var fle *chaos.FrameLossError
+	if !errors.As(err, &fle) {
+		t.Fatalf("want FrameLossError, got %v", err)
+	}
+	if fle.Want != 0 {
+		t.Fatalf("lost seq should be 0: %v", fle)
+	}
+}
+
+func TestDuplicateDiscarded(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        6,
+		Faults:      []chaos.ScriptedFault{{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultDup}},
+		RecvTimeout: 2 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	if err := eps[0].Send(1, msg(1, "once")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, msg(2, "twice")); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"once", "twice"} {
+		m, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if string(m.Data) != want {
+			t.Fatalf("recv %d: got %q want %q — duplicate delivered twice?", i, m.Data, want)
+		}
+	}
+	// The discard is a receive-side observation, deliberately kept out of
+	// the deterministic Journal schedule.
+	var sawDiscard bool
+	for _, e := range eps[0].Effects() {
+		if e.Fault == chaos.FaultDupDiscard {
+			sawDiscard = true
+		}
+	}
+	if !sawDiscard {
+		t.Fatalf("duplicate was never discarded at the receiver: %v", eps[0].Effects())
+	}
+	for _, e := range eps[0].Journal() {
+		if e.Fault == chaos.FaultDupDiscard {
+			t.Fatalf("receive-side discard leaked into the Journal schedule: %v", e)
+		}
+	}
+}
+
+func TestReorderFlushedWithoutLaterTraffic(t *testing.T) {
+	// A reorder holdback on the link's LAST message must still arrive
+	// (via the timed flush), not strand the receiver until its deadline.
+	cfg := chaos.Config{
+		Seed:        7,
+		Faults:      []chaos.ScriptedFault{{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultReorder}},
+		DelayMax:    5 * time.Millisecond,
+		RecvTimeout: 5 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	if err := eps[0].Send(1, msg(1, "held")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eps[1].Recv(0)
+	if err != nil {
+		t.Fatalf("held message never flushed: %v", err)
+	}
+	if string(m.Data) != "held" {
+		t.Fatalf("got %q", m.Data)
+	}
+}
+
+func TestPartitionIsolates(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        8,
+		Isolate:     []int{1},
+		RecvTimeout: 100 * time.Millisecond,
+	}
+	eps := wrapMem(3, cfg)
+	defer closeAll(eps)
+	// Across the cut: silently discarded, receiver deadline fires.
+	if err := eps[0].Send(1, msg(1, "cut")); err != nil {
+		t.Fatal(err)
+	}
+	var de *chaos.DeadlineError
+	if _, err := eps[1].Recv(0); !errors.As(err, &de) {
+		t.Fatalf("want DeadlineError across the partition, got %v", err)
+	}
+	// Same side of the cut: delivered.
+	if err := eps[0].Send(2, msg(2, "same side")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := eps[2].Recv(0); err != nil || string(m.Data) != "same side" {
+		t.Fatalf("same-side delivery broken: %v %v", m, err)
+	}
+	var sawPartition bool
+	for _, e := range eps[0].Journal() {
+		if e.Fault == chaos.FaultPartition && e.Src == 0 && e.Dst == 1 {
+			sawPartition = true
+		}
+	}
+	if !sawPartition {
+		t.Fatalf("partition not journaled: %v", eps[0].Journal())
+	}
+}
+
+func TestCrashStopTyped(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        9,
+		Crashes:     []chaos.Crash{{Rank: 1, Step: 3}},
+		RecvTimeout: 2 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	// Steps 1 and 2 succeed.
+	if err := eps[1].Send(0, msg(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].Send(0, msg(2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// Step 3 crashes.
+	err := eps[1].Send(0, msg(3, "c"))
+	var cse *chaos.CrashStopError
+	if !errors.As(err, &cse) {
+		t.Fatalf("want CrashStopError at step 3, got %v", err)
+	}
+	if cse.Rank != 1 || cse.Step != 3 {
+		t.Fatalf("wrong crash coordinates: %v", cse)
+	}
+	// Every later op fails identically; no hang.
+	if _, err := eps[1].Recv(0); !errors.As(err, &cse) {
+		t.Fatalf("post-crash Recv not crash-stopped: %v", err)
+	}
+	// The crash is journaled at its scripted step.
+	want := chaos.Event{Src: 1, Dst: 1, Seq: 3, Fault: chaos.FaultCrash}
+	var found bool
+	for _, e := range eps[1].Journal() {
+		if e == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crash not journaled: %v", eps[1].Journal())
+	}
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	eps := wrapMem(2, chaos.Config{Seed: 10})
+	defer closeAll(eps)
+	cause := errors.New("scripted abort")
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv(0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv block
+	eps[1].Abort(cause)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("abort cause lost: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after Abort")
+	}
+}
+
+func TestDecidePureAndSeedSensitive(t *testing.T) {
+	cfg := chaos.Config{Seed: 11, DropProb: 0.3, DupProb: 0.3}
+	for seq := uint64(0); seq < 100; seq++ {
+		a := chaos.Decide(cfg, 0, 1, seq)
+		b := chaos.Decide(cfg, 0, 1, seq)
+		if a != b {
+			t.Fatalf("Decide not pure at seq %d: %v vs %v", seq, a, b)
+		}
+	}
+	// Distinct seeds must (overwhelmingly) draw distinct schedules.
+	other := cfg
+	other.Seed = 12
+	var differs bool
+	for seq := uint64(0); seq < 1000; seq++ {
+		if chaos.Decide(cfg, 0, 1, seq) != chaos.Decide(other, 0, 1, seq) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("two different seeds drew identical 1000-message schedules")
+	}
+	// A scripted fault overrides the probabilistic draw.
+	s := chaos.Config{Seed: 11, Faults: []chaos.ScriptedFault{{Src: 2, Dst: 3, Seq: 5, Fault: chaos.FaultStall}}}
+	if got := chaos.Decide(s, 2, 3, 5); got != chaos.FaultStall {
+		t.Fatalf("scripted fault ignored: %v", got)
+	}
+}
+
+// TestJournalReplayDeterminism runs the identical seeded traffic twice and
+// asserts the fault journals are byte-identical — the property that makes a
+// logged seed a complete reproduction of a chaos failure.
+func TestJournalReplayDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := chaos.Config{
+			Seed:        1234,
+			DropProb:    0.05,
+			DupProb:     0.15,
+			ReorderProb: 0.15,
+			DelayProb:   0.2,
+			DelayMax:    100 * time.Microsecond,
+			RecvTimeout: 5 * time.Second,
+		}
+		eps := wrapMem(2, cfg)
+		defer closeAll(eps)
+		const n = 150
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				eps[0].Send(1, msg(int32(i), "replay")) //nolint:errcheck
+			}
+		}()
+		// Drain until the drop-induced gap surfaces (or all delivered).
+		for i := 0; i < n; i++ {
+			if _, err := eps[1].Recv(0); err != nil {
+				break
+			}
+		}
+		wg.Wait()
+		return chaos.FormatJournal(eps[0].Journal())
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("no faults injected — determinism test is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); again != first {
+			t.Fatalf("replay %d drew a different fault schedule:\n--- first ---\n%s--- replay ---\n%s", i, first, again)
+		}
+	}
+}
+
+func TestSlowAndStallJournaled(t *testing.T) {
+	cfg := chaos.Config{
+		Seed:        13,
+		Slow:        []chaos.LinkSlow{{Src: 0, Dst: 1, PerMsg: time.Millisecond, FirstN: 2}},
+		Stall:       []chaos.LinkStall{{Src: 0, Dst: 1, AtSeq: 1, Pause: 2 * time.Millisecond}},
+		RecvTimeout: 5 * time.Second,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+	for i := 0; i < 3; i++ {
+		if err := eps[0].Send(1, msg(int32(i), "slowly")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if m, err := eps[1].Recv(0); err != nil || m.Tag != int32(i) {
+			t.Fatalf("degraded link broke delivery at %d: %v %v", i, m, err)
+		}
+	}
+	var slows, stalls int
+	for _, e := range eps[0].Journal() {
+		switch e.Fault {
+		case chaos.FaultSlow:
+			slows++
+		case chaos.FaultStall:
+			stalls++
+		}
+	}
+	if slows != 2 || stalls != 1 {
+		t.Fatalf("want 2 slow + 1 stall events, got %d + %d: %v", slows, stalls, eps[0].Journal())
+	}
+}
+
+func closeAll(eps []*chaos.Transport) {
+	for _, ep := range eps {
+		ep.Close() //nolint:errcheck
+	}
+}

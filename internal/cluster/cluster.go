@@ -22,7 +22,6 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -43,6 +42,13 @@ type Cluster struct {
 	eps   []transport.Transport
 	coll  collectiveEngine
 	wall  bool // record real wall-clock per phase (distributed mode)
+
+	// abortOnce latches the first rank failure; abortCause records it for
+	// the error join. Once latched, every local endpoint (and, through it,
+	// every remote peer) fails within a bounded time instead of wedging.
+	abortOnce  sync.Once
+	abortMu    sync.Mutex
+	abortCause error
 }
 
 // New creates an in-process cluster of p ranks with the given network
@@ -103,9 +109,14 @@ func (c *Cluster) IsLocal(id int) bool {
 type commFailure struct{ err error }
 
 // Run executes fn on every local rank concurrently and returns the
-// per-rank timing report alongside the aggregation (errors.Join) of every
-// failed rank's error — a real-transport peer death on rank 3 is never
-// masked by a cascade error on rank 0.
+// per-rank timing report alongside the aggregation of every failed rank's
+// error. The first rank to fail triggers AbortBroadcast, so the surviving
+// ranks — blocked in receives or collectives the dead rank will never
+// feed — unblock with typed cascade errors within a bounded time instead
+// of wedging the run. The join deduplicates: cascades are summarized
+// behind the root cause (a real peer death on rank 3 is never masked by
+// its fallout on rank 0), and errors sharing one sticky transport failure
+// instance are reported once.
 func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
 	n := len(c.local)
 	ranks := make([]*Rank, n)
@@ -124,6 +135,9 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
 					}
 					errs[slot] = cf.err
 				}
+				if errs[slot] != nil {
+					c.AbortBroadcast(c.local[slot], errs[slot])
+				}
 			}()
 			defer r.finishWall()
 			r.startWall()
@@ -132,16 +146,37 @@ func (c *Cluster) Run(fn func(r *Rank) error) (*Report, error) {
 	}
 	wg.Wait()
 	rep := buildReport(ranks)
-	var failed []error
-	for i, err := range errs {
-		if err != nil {
-			failed = append(failed, fmt.Errorf("cluster: rank %d: %w", c.local[i], err))
+	return rep, joinRankErrors(c.local, errs)
+}
+
+// AbortBroadcast fails every communication path of this cluster's local
+// endpoints with a typed cascade error naming the failed rank and its
+// cause. In-process, the shared mailbox matrix fails, unblocking all P
+// ranks at once; in distributed mode the local endpoint's connections
+// close, which remote peers observe as immediate read failures — far
+// faster than their heartbeat watchdogs. Combined with per-op transport
+// deadlines this bounds how long one dead rank can stall the run: every
+// surviving rank's pending operation returns an error instead of hanging.
+// Idempotent; the first (rank, cause) wins. Run invokes it automatically
+// when a rank fails; it is exported for drivers that learn about a rank's
+// death out of band.
+func (c *Cluster) AbortBroadcast(rank int, cause error) {
+	c.abortOnce.Do(func() {
+		ae := &AbortError{Rank: rank, Cause: cause}
+		c.abortMu.Lock()
+		c.abortCause = ae
+		c.abortMu.Unlock()
+		if rv, ok := c.coll.(*rendezvous); ok {
+			rv.abort(ae)
 		}
-	}
-	if len(failed) > 0 {
-		return rep, errors.Join(failed...)
-	}
-	return rep, nil
+		for _, ep := range c.eps {
+			if a, ok := ep.(transport.Aborter); ok {
+				a.Abort(ae)
+			} else {
+				ep.Close() //lint:droperr best-effort teardown; the abort cause is the report
+			}
+		}
+	})
 }
 
 // Rank is the per-process handle: identity, clock, and transport endpoints.
@@ -291,7 +326,7 @@ func (r *Rank) chargeSend(dst, tag int, data []byte) transport.Message {
 func (r *Rank) Send(dst, tag int, data []byte) {
 	msg := r.chargeSend(dst, tag, data)
 	if err := r.ep.Send(dst, msg); err != nil {
-		panic(commFailure{fmt.Errorf("send to rank %d: %w", dst, err)})
+		panic(commFailure{rankLost("send", dst, err)})
 	}
 }
 
@@ -307,7 +342,7 @@ func (r *Rank) Send(dst, tag int, data []byte) {
 func (r *Rank) Isend(dst, tag int, data []byte) {
 	msg := r.chargeSend(dst, tag, data)
 	if err := r.ep.Isend(dst, msg); err != nil {
-		panic(commFailure{fmt.Errorf("isend to rank %d: %w", dst, err)})
+		panic(commFailure{rankLost("isend", dst, err)})
 	}
 }
 
@@ -323,7 +358,7 @@ func (r *Rank) Recv(src, tag int) []byte {
 	}
 	msg, err := r.ep.Recv(src)
 	if err != nil {
-		panic(commFailure{fmt.Errorf("recv from rank %d: %w", src, err)})
+		panic(commFailure{rankLost("recv", src, err)})
 	}
 	if int(msg.Tag) != tag {
 		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", r.id, tag, src, msg.Tag))
@@ -349,7 +384,7 @@ func (r *Rank) Recv(src, tag int) []byte {
 // counters — the rendezvous-priced collectives never counted them either.
 func (r *Rank) sendCtrl(dst int, tag int32, data []byte) {
 	if err := r.ep.Send(dst, transport.Message{Tag: tag, Data: data}); err != nil {
-		panic(commFailure{fmt.Errorf("collective send to rank %d: %w", dst, err)})
+		panic(commFailure{rankLost("collective send", dst, err)})
 	}
 }
 
@@ -357,7 +392,7 @@ func (r *Rank) sendCtrl(dst int, tag int32, data []byte) {
 func (r *Rank) recvCtrl(src int, tag int32) []byte {
 	msg, err := r.ep.Recv(src)
 	if err != nil {
-		panic(commFailure{fmt.Errorf("collective recv from rank %d: %w", src, err)})
+		panic(commFailure{rankLost("collective recv", src, err)})
 	}
 	if msg.Tag != tag {
 		panic(fmt.Sprintf("cluster: rank %d expected control tag %d from %d, got %d", r.id, tag, src, msg.Tag))

@@ -65,6 +65,12 @@ type rendezvous struct {
 	// resolves, which cannot happen before every rank has read them.
 	relNow float64
 	relAcc []int64
+
+	// err is the sticky abort cause: once set, every rank blocked at (or
+	// arriving at) the rendezvous fails with it instead of waiting for a
+	// round that can no longer complete — the in-process counterpart of a
+	// dead peer failing a transport receive.
+	err error
 }
 
 func newRendezvous(p int) *rendezvous {
@@ -80,6 +86,9 @@ func newRendezvous(p int) *rendezvous {
 func (rv *rendezvous) sync(now float64, vals []int64, op ReduceOp) (float64, []int64) {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	if rv.err != nil {
+		panic(commFailure{rv.err})
+	}
 	if now > rv.maxNow {
 		rv.maxNow = now
 	}
@@ -113,10 +122,26 @@ func (rv *rendezvous) sync(now float64, vals []int64, op ReduceOp) (float64, []i
 		return rv.relNow, rv.relAcc
 	}
 	gen := rv.gen
-	for rv.gen == gen {
+	for rv.gen == gen && rv.err == nil {
 		rv.cond.Wait()
 	}
+	if rv.gen == gen {
+		// Aborted before the round could resolve: some rank died and will
+		// never arrive. Fail instead of waiting forever.
+		panic(commFailure{rv.err})
+	}
 	return rv.relNow, rv.relAcc
+}
+
+// abort fails the rendezvous with cause: every waiting rank wakes and
+// fails, and every future sync fails immediately. The first cause wins.
+func (rv *rendezvous) abort(cause error) {
+	rv.mu.Lock()
+	if rv.err == nil {
+		rv.err = cause
+	}
+	rv.mu.Unlock()
+	rv.cond.Broadcast()
 }
 
 // resolve implements collectiveEngine at the shared rendezvous.

@@ -196,7 +196,7 @@ func (c *Cluster) GatherReport(rep *Report) (*Report, error) {
 			return rep, fmt.Errorf("cluster: encode report: %w", err)
 		}
 		if err := ep.Send(0, transport.Message{Tag: tagReport, Data: payload}); err != nil {
-			return rep, fmt.Errorf("cluster: ship report to rank 0: %w", err)
+			return rep, rankLost("ship report", 0, err)
 		}
 		return rep, nil
 	}
@@ -204,7 +204,7 @@ func (c *Cluster) GatherReport(rep *Report) (*Report, error) {
 	for src := 1; src < c.p; src++ {
 		msg, err := ep.Recv(src)
 		if err != nil {
-			return rep, fmt.Errorf("cluster: gather report from rank %d: %w", src, err)
+			return rep, rankLost("gather report", src, err)
 		}
 		if msg.Tag != tagReport {
 			return rep, fmt.Errorf("cluster: gather report from rank %d: unexpected tag %d", src, msg.Tag)

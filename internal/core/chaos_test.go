@@ -10,6 +10,7 @@ import (
 	"mndmst/internal/gen"
 	"mndmst/internal/graph"
 	"mndmst/internal/hypar"
+	"mndmst/internal/testutil"
 )
 
 // TestChaosConfig fuzzes the whole configuration space at once: random
@@ -82,7 +83,7 @@ func TestChaosConfig(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

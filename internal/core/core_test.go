@@ -10,6 +10,7 @@ import (
 	"mndmst/internal/gen"
 	"mndmst/internal/graph"
 	"mndmst/internal/hypar"
+	"mndmst/internal/testutil"
 )
 
 func amd() cost.Machine  { return cost.AMDCluster() }
@@ -174,7 +175,7 @@ func TestMNDMSTPropertyRandomGraphsAndClusterShapes(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package dsu
 
 import (
 	"math/rand"
+	"mndmst/internal/testutil"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -69,7 +70,7 @@ func TestConcurrentParallelUnionsMatchSequential(t *testing.T) {
 	const n = 20_000
 	// Build a random edge set; union it both sequentially and concurrently
 	// and compare the resulting partitions.
-	rng := rand.New(rand.NewSource(42))
+	rng := testutil.Rand(t, 42)
 	type edge struct{ a, b int32 }
 	edges := make([]edge, 3*n)
 	for i := range edges {
@@ -152,7 +153,7 @@ func TestConcurrentPartitionProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

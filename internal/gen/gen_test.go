@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"mndmst/internal/graph"
+	"mndmst/internal/testutil"
 )
 
 func TestGrid2DStructure(t *testing.T) {
@@ -111,7 +112,7 @@ func TestConnectedRandomIsConnected(t *testing.T) {
 		}
 		return graph.CountComponents(graph.MustBuildCSR(el)) == 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"mndmst/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -12,7 +13,7 @@ func TestMakeWeightRoundTrip(t *testing.T) {
 		w := MakeWeight(r, eid)
 		return WeightRand(w) == r && WeightEID(w) == eid
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +116,7 @@ func TestBuildCSRSelfLoop(t *testing.T) {
 }
 
 func TestCSRRoundTripThroughEdgeList(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := testutil.Rand(t, 11)
 	el := randomEdgeList(rng, 50, 200)
 	g := MustBuildCSR(el)
 	back := g.ToEdgeList()
@@ -155,7 +156,7 @@ func TestBuildCSRPropertyDegreesMatchEdgeEndpoints(t *testing.T) {
 		}
 		return g.NumArcs() == 2*int64(m)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 var goroutineExempt = map[string]bool{
 	"parutil":   true,
 	"transport": true,
+	"chaos":     true,
 }
 
 // checkGoHygiene flags `go` statements outside the designated concurrency

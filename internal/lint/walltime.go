@@ -11,6 +11,7 @@ var wallClockExempt = map[string]bool{
 	"trace":     true,
 	"transport": true,
 	"gen":       true,
+	"chaos":     true,
 }
 
 // wallClockFuncs are the time functions that leak the real clock into a

@@ -7,6 +7,7 @@ import (
 
 	"mndmst/internal/gen"
 	"mndmst/internal/graph"
+	"mndmst/internal/testutil"
 )
 
 func TestFilterKruskalKnownGraph(t *testing.T) {
@@ -28,7 +29,7 @@ func TestFilterKruskalMatchesKruskalProperty(t *testing.T) {
 		el := gen.ErdosRenyi(n, m, seed)
 		return Kruskal(el).Equal(FilterKruskal(el))
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"mndmst/internal/cost"
 	"mndmst/internal/gen"
 	"mndmst/internal/graph"
+	"mndmst/internal/testutil"
 )
 
 func testComm() cost.CommModel { return cost.CommModel{Latency: 1e-6, Bandwidth: 1e9} }
@@ -80,7 +81,7 @@ func TestOwnerOfInverseOfBounds(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

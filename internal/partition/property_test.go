@@ -1,0 +1,212 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mndmst/internal/gen"
+	"mndmst/internal/testutil"
+	"mndmst/internal/wire"
+)
+
+// Property suite for the 1D partitioner: edge-balanced cuts must assign
+// every vertex to exactly one rank (whole-vertex boundaries — a vertex's
+// owned range is never split between ranks), and the within-node CPU:GPU
+// split must move monotonically with the performance ratio.
+
+// checkWholeVertexCover asserts bounds is a monotone whole-vertex cover of
+// [0, n): b[0]=0, b[p]=n, nondecreasing, and OwnerOf places every vertex
+// in exactly the one interval containing it.
+func checkWholeVertexCover(bounds []int32, n int) bool {
+	p := len(bounds) - 1
+	if bounds[0] != 0 || bounds[p] != int32(n) {
+		return false
+	}
+	for i := 1; i <= p; i++ {
+		if bounds[i] < bounds[i-1] {
+			return false
+		}
+	}
+	var owned int64
+	for i := 0; i < p; i++ {
+		owned += int64(bounds[i+1] - bounds[i])
+	}
+	if owned != int64(n) {
+		return false
+	}
+	for v := int32(0); v < int32(n); v++ {
+		o := OwnerOf(bounds, v)
+		if o < 0 || o >= p || v < bounds[o] || v >= bounds[o+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBalancedBoundsNeverSplitVertex drives BalancedBounds with random
+// degree vectors (including hubs, zeros, and empty tails) across random
+// rank counts: the cut is always a whole-vertex contiguous cover.
+func TestBalancedBoundsNeverSplitVertex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		deg := make([]int64, n)
+		for i := range deg {
+			switch rng.Intn(4) {
+			case 0:
+				deg[i] = 0 // isolated vertex
+			case 1:
+				deg[i] = int64(1 + rng.Intn(8))
+			case 2:
+				deg[i] = int64(rng.Intn(100))
+			default:
+				deg[i] = int64(rng.Intn(10_000)) // hub
+			}
+		}
+		p := 1 + rng.Intn(16)
+		return checkWholeVertexCover(BalancedBounds(deg, p), n)
+	}
+	if err := quick.Check(f, testutil.Quick(t, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedBoundsNeverSplitVertex extends the invariant to the
+// heterogeneous-speed cut, including degenerate (zero/negative) weights.
+func TestWeightedBoundsNeverSplitVertex(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		deg := make([]int64, n)
+		for i := range deg {
+			deg[i] = int64(rng.Intn(50))
+		}
+		p := 1 + rng.Intn(8)
+		weights := make([]float64, p)
+		for i := range weights {
+			switch rng.Intn(3) {
+			case 0:
+				weights[i] = 0 // defaulted to 1 by WeightedBounds
+			default:
+				weights[i] = 0.25 + 4*rng.Float64()
+			}
+		}
+		return checkWholeVertexCover(WeightedBounds(deg, weights), n)
+	}
+	if err := quick.Check(f, testutil.Quick(t, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPart builds one rank's Part directly from a generated graph: the
+// full vertex range owned by a single rank, every edge present.
+func randomPart(rng *rand.Rand) *Part {
+	n := int32(8 + rng.Intn(200))
+	m := int(n) * (1 + rng.Intn(4))
+	el := gen.ErdosRenyi(n, m, rng.Int63())
+	part := &Part{Lo: 0, Hi: n, Bounds: []int32{0, n}}
+	for _, e := range el.Edges {
+		part.Edges = append(part.Edges, wire.WEdge{U: e.U, V: e.V, W: e.W, ID: e.ID})
+	}
+	return part
+}
+
+// splitPoint reports where DeviceSplit put the CPU|GPU boundary for a
+// given ratio (part.Hi when the GPU got nothing, part.Lo when it got all).
+func splitPoint(part *Part, gpuShare float64) int32 {
+	cpu, gpu := DeviceSplit(part, gpuShare)
+	switch {
+	case gpu == nil:
+		return part.Hi
+	case cpu == nil:
+		return part.Lo
+	default:
+		return cpu.Hi
+	}
+}
+
+// TestDeviceSplitMonotoneInRatio sweeps the CPU:GPU ratio upward over
+// random parts: the split point must move monotonically toward the CPU
+// side (a faster GPU never receives fewer vertices), the two halves must
+// tile the owned range exactly (no vertex split across devices, none
+// lost), and every edge must land in the half(s) owning its endpoints.
+func TestDeviceSplitMonotoneInRatio(t *testing.T) {
+	rng := testutil.Rand(t, 4101)
+	shares := []float64{0, 0.05, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9, 1}
+	for trial := 0; trial < 40; trial++ {
+		part := randomPart(rng)
+		prev := part.Hi + 1
+		for _, share := range shares {
+			sp := splitPoint(part, share)
+			if sp > prev {
+				t.Fatalf("trial %d: split point moved backwards: share=%.2f split=%d after %d",
+					trial, share, sp, prev)
+			}
+			prev = sp
+
+			cpu, gpu := DeviceSplit(part, share)
+			if cpu != nil && gpu != nil {
+				if cpu.Lo != part.Lo || gpu.Hi != part.Hi || cpu.Hi != gpu.Lo {
+					t.Fatalf("trial %d share=%.2f: halves [%d,%d)+[%d,%d) do not tile [%d,%d)",
+						trial, share, cpu.Lo, cpu.Hi, gpu.Lo, gpu.Hi, part.Lo, part.Hi)
+				}
+				if cpu.NumOwned()+gpu.NumOwned() != part.NumOwned() {
+					t.Fatalf("trial %d share=%.2f: owned vertices split or lost", trial, share)
+				}
+			}
+			for _, half := range []*Part{cpu, gpu} {
+				if half == nil {
+					continue
+				}
+				for _, e := range half.Edges {
+					uIn := e.U >= half.Lo && e.U < half.Hi
+					vIn := e.V >= half.Lo && e.V < half.Hi
+					if !uIn && !vIn {
+						t.Fatalf("trial %d share=%.2f: half [%d,%d) holds foreign edge %+v",
+							trial, share, half.Lo, half.Hi, e)
+					}
+				}
+			}
+		}
+		// Endpoints of the sweep: share 0 is CPU-only, share 1 GPU-only.
+		if _, gpu := DeviceSplit(part, 0); gpu != nil {
+			t.Fatalf("trial %d: share 0 still gave the GPU vertices", trial)
+		}
+		if cpu, _ := DeviceSplit(part, 1); cpu != nil {
+			t.Fatalf("trial %d: share 1 still gave the CPU vertices", trial)
+		}
+	}
+}
+
+// TestDeviceSplitCutEdgesPresentInBothHalves pins the device-cut contract:
+// an edge crossing the split appears in both device parts (it is a
+// device-level ghost edge), with multiplicity exactly two.
+func TestDeviceSplitCutEdgesPresentInBothHalves(t *testing.T) {
+	rng := testutil.Rand(t, 4102)
+	for trial := 0; trial < 20; trial++ {
+		part := randomPart(rng)
+		cpu, gpu := DeviceSplit(part, 0.5)
+		if cpu == nil || gpu == nil {
+			t.Fatalf("trial %d: 0.5 split degenerated", trial)
+		}
+		seen := make(map[int32]int)
+		for _, e := range cpu.Edges {
+			seen[e.ID]++
+		}
+		for _, e := range gpu.Edges {
+			seen[e.ID]++
+		}
+		for _, e := range part.Edges {
+			crossing := (e.U < cpu.Hi) != (e.V < cpu.Hi)
+			want := 1
+			if crossing {
+				want = 2
+			}
+			if seen[e.ID] != want {
+				t.Fatalf("trial %d: edge %d (u=%d v=%d, split %d) appears %d times, want %d",
+					trial, e.ID, e.U, e.V, cpu.Hi, seen[e.ID], want)
+			}
+		}
+	}
+}

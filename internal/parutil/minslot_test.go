@@ -1,7 +1,7 @@
 package parutil
 
 import (
-	"math/rand"
+	"mndmst/internal/testutil"
 	"sync"
 	"testing"
 )
@@ -36,7 +36,7 @@ func TestMinSlotSequentialProposals(t *testing.T) {
 func TestMinSlotConcurrentProposalsFindGlobalMin(t *testing.T) {
 	const n = 100_000
 	keys := make([]int64, n)
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.Rand(t, 7)
 	for i := range keys {
 		keys[i] = rng.Int63n(1 << 40)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -93,10 +94,20 @@ func (c *Coordinator) Serve() error {
 			continue
 		}
 		if prev, dup := seen[addr]; dup {
-			// Two workers advertising one address is a misconfiguration the
-			// mesh cannot survive (both ranks would be dialed at the same
+			// A previously joined worker re-advertising its address is one of
+			// two things. If the old connection is dead — the worker's first
+			// rendezvous attempt broke after the hello and it is retrying —
+			// the handshake is idempotent: replace the dead registration and
+			// keep the same rank slot. If the old connection is alive, two
+			// distinct workers share one address, a misconfiguration the mesh
+			// cannot survive (both ranks would be dialed at the same
 			// endpoint), so the whole rendezvous fails loudly instead of
 			// handing out a table that deadlocks the cluster.
+			if connGone(workers[prev].conn, deadline) {
+				workers[prev].conn.Close() //lint:droperr teardown of the dead registration being replaced
+				workers[prev].conn = conn
+				continue
+			}
 			conn.Close() //lint:droperr teardown of the duplicate joiner; the error below is the report
 			return fmt.Errorf("transport: coordinator: duplicate worker address %s (ranks %d and %d)",
 				addr, prev, len(workers))
@@ -123,6 +134,35 @@ func (c *Coordinator) Serve() error {
 	}
 	return nil
 }
+
+// connGone probes a rendezvoused worker connection with a short read: a
+// worker quietly awaiting its assignment sends nothing (the probe times
+// out — alive), while a worker whose rendezvous attempt failed has closed
+// its end (EOF or reset — gone). Stray bytes after the hello are a
+// protocol violation and count as gone too: the registration is unusable
+// either way.
+func connGone(conn net.Conn, restore time.Time) bool {
+	if err := conn.SetReadDeadline(time.Now().Add(connProbeWait)); err != nil {
+		return true // cannot even arm a deadline: the conn is unusable
+	}
+	var b [1]byte
+	_, err := conn.Read(b[:])
+	if err == nil {
+		return true // unexpected bytes after the hello: protocol violation
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		// Quiet and open: the worker is alive, waiting for its assignment.
+		// Re-arm the rendezvous deadline the probe overwrote.
+		conn.SetDeadline(restore) //lint:droperr best-effort re-arm; a dead conn fails at the assign write
+		return false
+	}
+	return true // EOF, reset, or any other read failure: gone
+}
+
+// connProbeWait is how long connGone listens for silence before declaring a
+// registration alive.
+const connProbeWait = 50 * time.Millisecond
 
 // readHello validates a worker's hello frame and returns its advertised
 // peer-listen address.

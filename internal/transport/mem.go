@@ -68,3 +68,17 @@ func (m *Mem) Close() error {
 	}
 	return nil
 }
+
+// Abort fails every mailbox of the whole in-process group with cause —
+// not just this endpoint's — discarding undelivered messages, so every
+// rank blocked anywhere in the matrix unblocks with the cause immediately.
+// This is the in-process form of an abort broadcast: with all ranks in one
+// address space, failing the shared queue matrix reaches everyone without
+// any network round trip. Idempotent; the first cause wins per queue.
+func (m *Mem) Abort(cause error) {
+	for _, row := range m.boxes {
+		for _, q := range row {
+			q.failNow(cause)
+		}
+	}
+}

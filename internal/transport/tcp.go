@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
@@ -212,9 +213,46 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	return t, nil
 }
 
-// rendezvousTCP performs the coordinator handshake.
+// rendezvousTCP performs the coordinator handshake, retrying transient
+// network failures with exponential backoff inside the DialTimeout budget.
+// The handshake is idempotent on the coordinator side — a worker whose
+// connection died mid-rendezvous re-advertises the same listen address and
+// the coordinator replaces the dead registration — so retrying cannot
+// produce a duplicate rank. Protocol errors (version or frame mismatches)
+// are never retried: they mean a misconfigured cluster, not a flaky link.
 func rendezvousTCP(cfg TCPConfig, advertise string) (rank, p int, addrs []string, err error) {
 	deadline := time.Now().Add(cfg.DialTimeout)
+	backoff := 25 * time.Millisecond
+	for {
+		rank, p, addrs, err = rendezvousOnce(cfg, advertise, deadline)
+		if err == nil || !retryableRendezvousError(err) || time.Now().Add(backoff).After(deadline) {
+			return rank, p, addrs, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// retryableRendezvousError reports whether a rendezvous failure is a
+// transient network condition worth retrying (connection refused or reset,
+// a coordinator that closed mid-handshake) rather than a protocol-level
+// rejection that every retry would reproduce.
+func retryableRendezvousError(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// rendezvousOnce performs one coordinator handshake attempt.
+func rendezvousOnce(cfg TCPConfig, advertise string, deadline time.Time) (rank, p int, addrs []string, err error) {
 	conn, err := dialRetry(cfg.Coordinator, deadline)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("transport: coordinator %s: %w", cfg.Coordinator, err)
@@ -561,6 +599,34 @@ func (t *TCP) Close() error {
 		t.selfBox.fail(ErrClosed)
 	})
 	return nil
+}
+
+// Abort fails the whole endpoint with cause, immediately and without the
+// graceful drain Close performs: every peer connection closes (which is
+// also how the abort reaches remote ranks — their read loops fail within a
+// socket round trip, far faster than the heartbeat watchdog), queued
+// outbound frames are dropped, undelivered inbound messages are discarded,
+// and every pending and future Send, Isend, and Recv returns an error
+// carrying cause. Idempotent; the first cause wins per peer.
+func (t *TCP) Abort(cause error) {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		if p.err == nil {
+			p.err = cause
+		}
+		conn := p.conn
+		p.mu.Unlock()
+		if conn != nil {
+			conn.Close() //lint:droperr teardown of an aborted peer; cause is the report
+		}
+		p.inbox.failNow(cause)
+		p.out.fail(cause)
+	}
+	t.selfBox.failNow(cause)
+	t.ln.Close() //lint:droperr best-effort teardown; cause is the report
 }
 
 // maxCloseDrain caps how long Close waits for queued asynchronous sends to

@@ -72,6 +72,17 @@ type Transport interface {
 	Close() error
 }
 
+// Aborter is implemented by transports that can fail the whole endpoint —
+// every pending and future Send, Isend, and Recv — with a caller-supplied
+// cause. It is the mechanism behind a cluster-wide abort: when one rank
+// dies, the survivors' blocked operations must return a typed error within
+// a bounded time instead of wedging the run. Unlike Close, Abort performs
+// no graceful drain: the cause overrides everything still in flight.
+// Abort is idempotent; the first cause wins.
+type Aborter interface {
+	Abort(cause error)
+}
+
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("transport: closed")
 
@@ -171,6 +182,21 @@ func (q *queue) fail(err error) {
 	if q.err == nil {
 		q.err = err
 	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// failNow marks the queue failed AND discards everything still queued, so
+// the very next take returns the cause instead of draining stale data
+// first. It is the abort-path variant of fail: once a run is aborted, any
+// undelivered message belongs to a computation that no longer exists.
+func (q *queue) failNow(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.msgs = nil
+	q.bytes = 0
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"mndmst/internal/testutil"
 	"testing"
 	"testing/quick"
 )
@@ -19,7 +20,7 @@ func TestInt32sRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +39,7 @@ func TestUint64sRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, testutil.Quick(t, 1, 0)); err != nil {
 		t.Fatal(err)
 	}
 }

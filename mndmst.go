@@ -32,6 +32,7 @@ import (
 
 	"mndmst/internal/boruvka"
 	"mndmst/internal/bsp"
+	"mndmst/internal/chaos"
 	"mndmst/internal/cluster"
 	"mndmst/internal/core"
 	"mndmst/internal/cost"
@@ -322,6 +323,61 @@ type Options struct {
 	// Cluster configures the TCP cluster; required when Transport is
 	// TransportTCP, ignored otherwise.
 	Cluster *ClusterConfig
+	// Chaos, when non-nil, wraps this worker's transport endpoint in the
+	// deterministic fault-injection layer — the resilience-testing mode
+	// FindMSFDistributed exposes for soak tests and failure drills. Only
+	// honoured in distributed runs; FindMSF ignores it.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig injects seeded, deterministic faults into one worker's
+// transport: message delays, duplicates and reordering (which a correct
+// run must absorb), message loss and corruption (which must surface as
+// typed errors), and a scripted crash-stop of this rank. Two workers given
+// the same Seed draw the same fault schedule for the same traffic, so any
+// failure replays from its logged seed.
+type ChaosConfig struct {
+	// Seed drives every probabilistic fault decision (required for
+	// reproducibility; 0 is a valid seed).
+	Seed int64
+	// Per-message fault probabilities in [0, 1].
+	DropProb    float64
+	CorruptProb float64
+	DupProb     float64
+	ReorderProb float64
+	DelayProb   float64
+	// DelayMax bounds one injected delay (default 2ms).
+	DelayMax time.Duration
+	// RecvTimeout bounds every receive so injected loss surfaces as a
+	// typed error instead of a hang (default 30s; must exceed DelayMax).
+	RecvTimeout time.Duration
+	// CrashStep, when > 0, crash-stops this worker at its CrashStep-th
+	// transport operation: the process's endpoint dies mid-protocol and
+	// every peer must fail over cleanly.
+	CrashStep uint64
+}
+
+// chaosRecvTimeoutDefault bounds receives under chaos when unset.
+const chaosRecvTimeoutDefault = 30 * time.Second
+
+func (c *ChaosConfig) wrap(ep transport.Transport) transport.Transport {
+	cfg := chaos.Config{
+		Seed:        c.Seed,
+		DropProb:    c.DropProb,
+		CorruptProb: c.CorruptProb,
+		DupProb:     c.DupProb,
+		ReorderProb: c.ReorderProb,
+		DelayProb:   c.DelayProb,
+		DelayMax:    c.DelayMax,
+		RecvTimeout: c.RecvTimeout,
+	}
+	if cfg.RecvTimeout <= 0 {
+		cfg.RecvTimeout = chaosRecvTimeoutDefault
+	}
+	if c.CrashStep > 0 {
+		cfg.Crashes = []chaos.Crash{{Rank: ep.Rank(), Step: c.CrashStep}}
+	}
+	return chaos.WrapOne(ep, cfg)
 }
 
 func (o Options) config() hypar.Config {
@@ -470,9 +526,13 @@ func FindMSF(g *Graph, opts Options) (*Result, error) {
 // wall-clock phase times — while other ranks return their local metrics
 // with Root == false and no forest.
 func FindMSFDistributed(g *Graph, opts Options, cfg ClusterConfig) (*Result, error) {
-	ep, err := transport.DialTCP(cfg.tcp())
+	tcpEP, err := transport.DialTCP(cfg.tcp())
 	if err != nil {
 		return nil, fmt.Errorf("mndmst: join cluster: %w", err)
+	}
+	var ep transport.Transport = tcpEP
+	if opts.Chaos != nil {
+		ep = opts.Chaos.wrap(ep)
 	}
 	defer ep.Close()
 	machine := opts.Machine.model()

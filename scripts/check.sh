@@ -1,8 +1,34 @@
 #!/bin/sh
 # Release gate: format check, static analysis, build, vet, full tests,
 # full race matrix, smokes, quick benches. Mirrors .github/workflows/ci.yml.
+#
+#   scripts/check.sh          full gate (includes the chaos suite)
+#   scripts/check.sh --chaos  chaos + differential oracle suite only:
+#                             two fixed seeds plus one rotating seed,
+#                             logged so any failure replays exactly via
+#                             MNDMST_TEST_SEED=<seed>
 set -eu
 cd "$(dirname "$0")/.."
+
+run_chaos() {
+    # Fault-injection suite: deterministic chaos transport + differential
+    # MSF oracle, race-checked and deadline-bounded so any reintroduced
+    # hang fails fast. Two pinned seeds keep the gate reproducible; the
+    # rotating seed walks fresh fault schedules and is printed so a red
+    # run can be replayed bit-identically.
+    rotating=$(date +%s)
+    for seed in 1 20240724 "$rotating"; do
+        echo "== chaos + oracle suite (seed $seed; replay with MNDMST_TEST_SEED=$seed) =="
+        MNDMST_TEST_SEED="$seed" go test -race -timeout 120s -count=1 ./internal/chaos/
+        MNDMST_TEST_SEED="$seed" go test -race -timeout 120s -count=1 -run TestFindMSFDistributed .
+    done
+}
+
+if [ "${1:-}" = "--chaos" ]; then
+    run_chaos
+    echo "chaos checks passed"
+    exit 0
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -39,6 +65,8 @@ echo "== deadlock regression (race, tight timeout) =="
 go test -race -timeout 90s \
     -run 'TestLegacyExchangeDeadlocksUnderBoundedBuffers|TestExchangeDeltasBoundedBuffersNoDeadlock|TestExchangeMemTCPSimulatedTimeParity' \
     ./internal/merge/
+
+run_chaos
 
 echo "== multi-process smoke (loopback TCP workers) =="
 go run ./cmd/mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify

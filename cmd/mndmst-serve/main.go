@@ -1,0 +1,125 @@
+// Command mndmst-serve runs the MND-MST job service: a long-lived HTTP
+// server that accepts MSF jobs over a library of graphs, deduplicates
+// identical requests through a result cache with singleflight coalescing,
+// bounds its queue with typed admission rejections, and drains gracefully
+// on SIGINT/SIGTERM (a second signal forces exit).
+//
+// Start it and submit a job:
+//
+//	$ mndmst-serve -listen 127.0.0.1:8080 -workers 4 &
+//	$ curl -s localhost:8080/v1/jobs -d \
+//	    '{"graph":{"profile":"arabic-2005","scale":0.1},"options":{"nodes":4},"wait":true}'
+//
+// See DESIGN.md §10 for the API schema and the queue/cache/drain
+// invariants.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"mndmst/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mndmst-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mndmst-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		workers      = fs.Int("workers", 2, "concurrent job executors")
+		queueDepth   = fs.Int("queue", 64, "admission bound on queued jobs")
+		graphCacheMB = fs.Int64("graph-cache-mb", 256, "decoded-graph LRU bound (MiB)")
+		resultCache  = fs.Int("result-cache", 1024, "result cache entries")
+		defaultTO    = fs.Duration("default-timeout", 0, "deadline for jobs that request none (0 = unbounded)")
+		maxTO        = fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = no cap)")
+		graphDir     = fs.String("graph-dir", "", "directory file-based graph specs resolve under (\"\" disables them)")
+		drainTO      = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Config{
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		GraphCacheBytes:    *graphCacheMB << 20,
+		ResultCacheEntries: *resultCache,
+		DefaultTimeout:     *defaultTO,
+		MaxTimeout:         *maxTO,
+		GraphDir:           *graphDir,
+		Logf:               log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	drainc := make(chan struct{})
+	stop := serve.OnSignals(
+		func() {
+			fmt.Fprintln(out, "mndmst-serve: drain: admission stopped, finishing in-flight jobs (next signal forces exit)")
+			close(drainc)
+		},
+		func() {
+			fmt.Fprintln(os.Stderr, "mndmst-serve: forced exit before drain completed")
+			os.Exit(1)
+		},
+	)
+	defer stop()
+
+	fmt.Fprintf(out, "mndmst-serve: serving on %s (workers %d, queue %d)\n", ln.Addr(), *workers, *queueDepth)
+	servec := make(chan error, 1)
+	//lint:detached joined below: run returns only after receiving from servec
+	go func() { servec <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-servec:
+		// Listener died without a drain request; stop the pool and report.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if derr := s.Shutdown(shutdownCtx); derr != nil {
+			return errors.Join(err, derr)
+		}
+		return err
+	case <-drainc:
+	}
+
+	// Drain sequence: stop admission first so new submissions see a clean
+	// 503, let queued and in-flight jobs finish, then close the HTTP side
+	// (which waits for in-flight handlers, including wait=true long polls
+	// that resolve as their jobs complete).
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	drainErr := s.Shutdown(shutdownCtx)
+	if drainErr != nil {
+		fmt.Fprintf(out, "mndmst-serve: drain grace period expired; canceled remaining jobs: %v\n", drainErr)
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return errors.Join(drainErr, err)
+	}
+	if err := <-servec; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return errors.Join(drainErr, err)
+	}
+	st := s.Stats()
+	fmt.Fprintf(out, "mndmst-serve: drained: %d completed, %d failed, %d canceled, %d rejected; %d computations, %d cache hits, %d coalesced\n",
+		st.JobsCompleted, st.JobsFailed, st.JobsCanceled, st.JobsRejected,
+		st.Computations, st.ResultCacheHits, st.ResultCacheCoalesced)
+	return drainErr
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lineWatcher is an io.Writer that hands each complete output line to a
+// callback while accumulating everything for later assertions.
+type lineWatcher struct {
+	mu     sync.Mutex
+	buf    strings.Builder
+	part   string
+	onLine func(string)
+}
+
+func (w *lineWatcher) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.buf.Write(p)
+	w.part += string(p)
+	for {
+		i := strings.IndexByte(w.part, '\n')
+		if i < 0 {
+			break
+		}
+		line := w.part[:i]
+		w.part = w.part[i+1:]
+		if w.onLine != nil {
+			w.onLine(line)
+		}
+	}
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *lineWatcher) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var servingRE = regexp.MustCompile(`serving on (\S+)`)
+
+// TestServeGracefulSIGTERM runs the real binary entry point in-process:
+// serve on an ephemeral port, answer a job over HTTP, then deliver an
+// actual SIGTERM to the process and require a clean drain — run() returns
+// nil and reports the drained counters.
+func TestServeGracefulSIGTERM(t *testing.T) {
+	addrc := make(chan string, 1)
+	w := &lineWatcher{onLine: func(line string) {
+		if m := servingRE.FindStringSubmatch(line); m != nil {
+			select {
+			case addrc <- m[1]:
+			default:
+			}
+		}
+	}}
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- run([]string{"-listen", "127.0.0.1:0", "-workers", "2"}, w) }()
+
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-runErr:
+		t.Fatalf("run exited early: %v\n%s", err, w.String())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never announced its address:\n%s", w.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"graph":{"profile":"road_usa","scale":0.02},"options":{"nodes":2},"wait":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js struct {
+		State  string `json:"state"`
+		Result *struct {
+			ForestEdges int    `json:"forest_edges"`
+			TotalWeight uint64 `json:"total_weight"`
+		} `json:"result"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&js)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || js.State != "done" || js.Result == nil || js.Result.ForestEdges == 0 {
+		t.Fatalf("job answer: %d %+v", resp.StatusCode, js)
+	}
+
+	// The real thing: SIGTERM to our own process. run()'s handler must
+	// catch it, drain, and return cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain exit: %v\n%s", err, w.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("server did not drain on SIGTERM:\n%s", w.String())
+	}
+	out := w.String()
+	for _, want := range []string{"drain: admission stopped", "drained: 1 completed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeFlagErrors: bad flags fail fast instead of half-starting.
+func TestServeFlagErrors(t *testing.T) {
+	var w lineWatcher
+	if err := run([]string{"-badflag"}, &w); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-listen", "256.0.0.1:bogus"}, &w); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+// TestServeListenConflict: a taken port surfaces as a listen error, not
+// a hang.
+func TestServeListenConflict(t *testing.T) {
+	addrc := make(chan string, 1)
+	w := &lineWatcher{onLine: func(line string) {
+		if m := servingRE.FindStringSubmatch(line); m != nil {
+			select {
+			case addrc <- m[1]:
+			default:
+			}
+		}
+	}}
+	runErr := make(chan error, 1)
+	go func() { runErr <- run([]string{"-listen", "127.0.0.1:0"}, w) }()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("no address:\n%s", w.String())
+	}
+	var w2 lineWatcher
+	if err := run([]string{"-listen", addr}, &w2); err == nil || !strings.Contains(err.Error(), "listen") {
+		t.Fatalf("conflicting listen: %v", err)
+	}
+	// Tear the first instance down for a clean exit.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("first instance did not drain")
+	}
+}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"os/exec"
 
 	"mndmst"
+	"mndmst/internal/serve"
 )
 
 // workerCoordEnv tells a forked child which coordinator to join; its
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer) error {
 		traceOut = fs.String("trace", "", "write per-rank JSONL trace to this file")
 		rankProf = fs.Bool("rankprofile", false, "print the per-rank profile")
 		launch   = fs.String("launch", "", "run as real OS processes: local:N forks N loopback TCP workers")
+		jsonOut  = fs.Bool("json", false, "emit the machine-readable result record (the schema mndmst-serve returns) instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +96,7 @@ func run(args []string, out io.Writer) error {
 			}
 			childArgs = append(childArgs, "-"+f.Name+"="+f.Value.String())
 		})
-		return launchLocal(out, *launch, childArgs)
+		return launchLocal(out, *launch, childArgs, *jsonOut)
 	}
 	worker := workerCoord != ""
 	if worker && (*system != "mnd" || *app != "") {
@@ -113,7 +116,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if !worker {
+	if !worker && !*jsonOut {
 		fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 	}
 
@@ -137,6 +140,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *app != "" {
+		if *jsonOut {
+			return fmt.Errorf("-json supports only MST runs (not -app)")
+		}
 		return runApp(out, g, opts, *app, int32(*source))
 	}
 
@@ -156,6 +162,26 @@ func run(args []string, out io.Writer) error {
 	}
 	if worker && !res.Root {
 		return nil // non-root workers compute silently
+	}
+	if *jsonOut {
+		// Machine-readable mode: one result record in the exact schema
+		// mndmst-serve returns, so scripts parse CLI and service output
+		// identically. -verify still gates success but prints nothing.
+		if *verify {
+			if err := mndmst.Verify(g, res); err != nil {
+				return fmt.Errorf("verification FAILED: %w", err)
+			}
+		}
+		if *traceOut != "" && res.Trace != nil {
+			if err := writeTrace(res, *traceOut); err != nil {
+				return err
+			}
+		}
+		rec := serve.NewRecord(g, *system, opts, res)
+		rec.EdgeIDs = nil // summary record, like the server's default response
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
 	}
 	if worker {
 		fmt.Fprintf(out, "graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
@@ -180,14 +206,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if res.Trace != nil {
 		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			if err := res.Trace.WriteJSONL(f); err != nil {
-				return errors.Join(err, f.Close())
-			}
-			if err := f.Close(); err != nil {
+			if err := writeTrace(res, *traceOut); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "trace written to %s\n", *traceOut)
@@ -205,11 +224,23 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeTrace dumps the per-rank JSONL trace to path.
+func writeTrace(res *mndmst.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Trace.WriteJSONL(f); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
 // launchLocal hosts a coordinator on an ephemeral loopback port, forks N
 // copies of this binary as TCP workers, and relays their output. Only rank
 // 0 prints a summary, so the combined output reads like a single run —
 // with real wall-clock columns added.
-func launchLocal(out io.Writer, spec string, childArgs []string) error {
+func launchLocal(out io.Writer, spec string, childArgs []string, jsonOut bool) error {
 	var n int
 	if _, err := fmt.Sscanf(spec, "local:%d", &n); err != nil || n < 1 {
 		return fmt.Errorf("bad -launch %q (want local:N with N >= 1)", spec)
@@ -223,7 +254,9 @@ func launchLocal(out io.Writer, spec string, childArgs []string) error {
 	if err != nil {
 		return fmt.Errorf("locate own binary: %w", err)
 	}
-	fmt.Fprintf(out, "launch: %d workers via coordinator %s\n", n, coord.Addr())
+	if !jsonOut {
+		fmt.Fprintf(out, "launch: %d workers via coordinator %s\n", n, coord.Addr())
+	}
 
 	cmds := make([]*exec.Cmd, n)
 	bufs := make([]bytes.Buffer, n)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -139,6 +140,75 @@ func TestRunTextInputAndTrace(t *testing.T) {
 	data, err := os.ReadFile(traceFile)
 	if err != nil || !strings.Contains(string(data), `"kind":"rank"`) {
 		t.Fatalf("trace file: %v %q", err, data)
+	}
+}
+
+// TestRunJSON: -json emits exactly one record in the serve schema, with
+// nothing else on the stream, and agrees with the text run.
+func TestRunJSON(t *testing.T) {
+	args := []string{"-profile", "road_usa", "-scale", "0.03", "-nodes", "3"}
+	var jsonBuf strings.Builder
+	if err := run(append(append([]string{}, args...), "-json", "-verify"), &jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		GraphDigest        string  `json:"graph_digest"`
+		Vertices           int     `json:"vertices"`
+		Edges              int     `json:"edges"`
+		System             string  `json:"system"`
+		OptionsFingerprint string  `json:"options_fingerprint"`
+		ForestEdges        int     `json:"forest_edges"`
+		Components         int     `json:"components"`
+		TotalWeight        uint64  `json:"total_weight"`
+		SimSeconds         float64 `json:"sim_seconds"`
+		EdgeIDs            []int32 `json:"edge_ids"`
+	}
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &rec); err != nil {
+		t.Fatalf("-json output is not a single JSON record: %v\n%s", err, jsonBuf.String())
+	}
+	if !strings.HasPrefix(rec.GraphDigest, "sha256:") || rec.System != "mnd" ||
+		!strings.Contains(rec.OptionsFingerprint, "nodes=3") {
+		t.Fatalf("record: %+v", rec)
+	}
+	if rec.EdgeIDs != nil {
+		t.Fatal("-json leaked edge ids (summary record must omit them)")
+	}
+	var text strings.Builder
+	if err := run(args, &text); err != nil {
+		t.Fatal(err)
+	}
+	wantForest := fmt.Sprintf("forest: %d edges, %d components, total weight %d",
+		rec.ForestEdges, rec.Components, rec.TotalWeight)
+	if !strings.Contains(text.String(), wantForest) {
+		t.Fatalf("text run disagrees with -json record:\nwant %q in\n%s", wantForest, text.String())
+	}
+	// -json composes with the other systems and rejects -app.
+	var seqBuf strings.Builder
+	if err := run([]string{"-profile", "road_usa", "-scale", "0.03", "-system", "seq", "-json"}, &seqBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(seqBuf.String(), `"system": "seq"`) {
+		t.Fatalf("seq record: %s", seqBuf.String())
+	}
+	var out strings.Builder
+	if err := run([]string{"-profile", "road_usa", "-app", "bfs", "-json"}, &out); err == nil {
+		t.Fatal("-json with -app accepted")
+	}
+}
+
+// TestLaunchLocalJSON: in multi-process mode rank 0's record is relayed
+// as the sole output, so piped consumers see pure JSON.
+func TestLaunchLocalJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-launch", "local:2", "-profile", "road_usa", "-scale", "0.03", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &rec); err != nil {
+		t.Fatalf("launch -json output is not pure JSON: %v\n%s", err, out.String())
+	}
+	if rec["wall_seconds"] == nil {
+		t.Fatalf("multi-process record missing wall_seconds: %s", out.String())
 	}
 }
 

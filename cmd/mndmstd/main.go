@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mndmst"
+	"mndmst/internal/serve"
 )
 
 func main() {
@@ -146,6 +147,22 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown machine %q", *machine)
 	}
+
+	// Graceful drain, shared with mndmst-serve: the first SIGINT/SIGTERM
+	// announces the drain and lets the in-flight computation finish (the
+	// transport then closes cleanly through the normal return path instead
+	// of dying mid-protocol and stranding peers); a second signal forces
+	// exit.
+	stopSignals := serve.OnSignals(
+		func() {
+			fmt.Fprintln(os.Stderr, "mndmstd: drain: finishing in-flight computation (next signal forces exit)")
+		},
+		func() {
+			fmt.Fprintln(os.Stderr, "mndmstd: forced exit; peers will observe this rank as dead")
+			os.Exit(1)
+		},
+	)
+	defer stopSignals()
 
 	start := time.Now() //lint:wallclock real wall-clock reporting is the point of the distributed daemon
 	res, err := mndmst.FindMSFDistributed(g, opts, cfg)

@@ -7,12 +7,14 @@ import (
 )
 
 // goroutineExempt names the designated concurrency layers: parutil owns the
-// fork/join worker pools, transport owns connection readers/heartbeats with
-// their own lifecycle management.
+// fork/join worker pools, transport owns connection readers/heartbeats, and
+// serve owns the job-service worker pool — each with its own lifecycle
+// management (serve joins its workers through Shutdown's drained channel).
 var goroutineExempt = map[string]bool{
 	"parutil":   true,
 	"transport": true,
 	"chaos":     true,
+	"serve":     true,
 }
 
 // checkGoHygiene flags `go` statements outside the designated concurrency

@@ -1,0 +1,56 @@
+package good
+
+//lint:path mndmst/internal/serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// miniServer is the serve-package exemplar: the job service legitimately
+// reads the wall clock (deadlines, queue accounting) and owns a worker
+// pool it joins on shutdown — both exempt by scope — while remaining
+// subject to the err-drop rule: every error on the job path is handled.
+type miniServer struct {
+	queue   chan string
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	started map[string]time.Time
+}
+
+func newMiniServer(workers int) *miniServer {
+	s := &miniServer{queue: make(chan string, 8), started: make(map[string]time.Time)}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *miniServer) worker() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.mu.Lock()
+		s.started[id] = time.Now() // real-time job accounting: exempt scope
+		s.mu.Unlock()
+		if err := runOne(id); err != nil {
+			fmt.Fprintln(os.Stderr, "job failed:", err) // handled, not dropped
+		}
+	}
+}
+
+func (s *miniServer) shutdown() {
+	close(s.queue)
+	s.wg.Wait() // the pool is joined; the spawn in newMiniServer is accounted for
+}
+
+func runOne(id string) error {
+	f, err := os.Open(id)
+	if err != nil {
+		return err
+	}
+	f.Close() //lint:droperr read-only file; close failure changes nothing
+	return nil
+}

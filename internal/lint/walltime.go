@@ -6,12 +6,14 @@ import (
 
 // wallClockExempt names the packages that legitimately read real time or
 // entropy: trace (observability), transport (deadlines, heartbeats,
-// backoff), and gen (seeded workload synthesis owns its rand plumbing).
+// backoff), gen (seeded workload synthesis owns its rand plumbing), and
+// serve (job deadlines and queue/run accounting are real-time by design).
 var wallClockExempt = map[string]bool{
 	"trace":     true,
 	"transport": true,
 	"gen":       true,
 	"chaos":     true,
+	"serve":     true,
 }
 
 // wallClockFuncs are the time functions that leak the real clock into a

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// serveBenchResult is one row of BENCH_serve.json: end-to-end service
+// throughput (submit → terminal state) for one cache regime.
+type serveBenchResult struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Iters      int     `json:"iters"`
+	WallNs     int64   `json:"wall_ns"`
+	JobsPerSec float64 `json:"jobs_per_s"`
+}
+
+// benchServeJobs measures b.N jobs through the full service path —
+// admission, queue, worker pool, registry, result cache. Hot mode
+// resubmits one identical request, so after the first computation every
+// job is a cache hit; cold mode gives each job a unique options
+// fingerprint against a one-entry cache, so every job computes.
+func benchServeJobs(b *testing.B, name string, cold bool) serveBenchResult {
+	b.Helper()
+	entries := 1024
+	if cold {
+		entries = 1
+	}
+	s := New(Config{Workers: 4, QueueDepth: 4, ResultCacheEntries: entries})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	spec := GraphSpec{Profile: "road_usa", Scale: 0.02}
+	// Warm the graph registry so both regimes measure job throughput, not
+	// the one-time generator cost.
+	if _, _, err := s.registry.resolve(spec); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		req := JobRequest{Graph: spec, Options: OptionSpec{Nodes: 2}}
+		if cold {
+			// A unique fingerprint per job defeats the result cache.
+			req.Options.NodeSpeeds = []float64{1, 1 + float64(i+1)*1e-9}
+		}
+		job, err := s.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.State() != StateDone {
+			b.Fatalf("job %s: %s (%v)", job.ID(), job.State(), job.Err())
+		}
+	}
+	wall := time.Since(start)
+	b.StopTimer()
+
+	st := s.Stats()
+	if cold && st.Computations != int64(b.N) {
+		b.Fatalf("cold run computed %d/%d jobs", st.Computations, b.N)
+	}
+	if !cold && st.Computations != 1 {
+		b.Fatalf("hot run computed %d times (want 1)", st.Computations)
+	}
+	return serveBenchResult{
+		Name:       name,
+		Workers:    4,
+		Iters:      b.N,
+		WallNs:     wall.Nanoseconds(),
+		JobsPerSec: float64(b.N) / wall.Seconds(),
+	}
+}
+
+// BenchmarkServeThroughput measures service throughput in the two cache
+// regimes — every job computes (cold) vs every job answered from memory
+// (hot) — and writes the measurements to BENCH_serve.json so the serving
+// overhead trajectory accumulates across revisions. The file lands in the
+// package directory under `go test ./internal/serve -bench`; override the
+// path with MNDMST_BENCH_SERVE_OUT.
+func BenchmarkServeThroughput(b *testing.B) {
+	results := make(map[string]serveBenchResult)
+	var order []string
+	record := func(res serveBenchResult) {
+		if _, seen := results[res.Name]; !seen {
+			order = append(order, res.Name)
+		}
+		results[res.Name] = res // the final (largest b.N) run wins
+	}
+	b.Run("cold", func(b *testing.B) { record(benchServeJobs(b, "jobs-cache-cold", true)) })
+	b.Run("hot", func(b *testing.B) { record(benchServeJobs(b, "jobs-cache-hot", false)) })
+
+	out := struct {
+		Benchmark string             `json:"benchmark"`
+		Results   []serveBenchResult `json:"results"`
+	}{Benchmark: "ServeThroughput"}
+	for _, name := range order {
+		out.Results = append(out.Results, results[name])
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := os.Getenv("MNDMST_BENCH_SERVE_OUT")
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote %s", path)
+	for _, name := range order {
+		r := results[name]
+		b.Logf("%s: %.1f jobs/s (%d iters)", r.Name, r.JobsPerSec, r.Iters)
+	}
+}

@@ -1,0 +1,501 @@
+// Package serve turns the MND-MST library into a long-running job
+// service — the layer that accepts, schedules, deduplicates, and answers
+// repeated MSF requests the way an inference-serving stack fronts a
+// model:
+//
+//   - a graph registry that loads .mnd containers, text edge lists, or
+//     generator profiles on demand and caches the decoded graphs in a
+//     byte-bounded LRU keyed by content digest, so jobs over the same
+//     content share one in-memory copy however they named it;
+//   - a bounded job queue with admission control: submissions beyond the
+//     configured depth are rejected with a typed QueueFullError instead
+//     of queuing unboundedly, and every job carries a deadline-bearing
+//     context honoured both while queued and while running;
+//   - a result cache keyed by (graph digest, options fingerprint, system)
+//     with singleflight coalescing, so N concurrent identical requests
+//     cost one computation and repeats are answered from memory;
+//   - graceful drain: Shutdown stops admission, lets in-flight and queued
+//     jobs finish (or cancels them when the drain context expires), and
+//     guarantees no accepted job is lost or run twice.
+//
+// The HTTP surface (POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/stats,
+// GET /healthz) lives in http.go; cmd/mndmst-serve wires it to a socket
+// and the process signal handlers.
+//
+// serve is a real-time layer by design: it reads the wall clock for
+// deadlines and job accounting and owns its goroutine lifecycles, and is
+// therefore exempt from the det-wallclock/go-hygiene simulation rules
+// (like transport) while opting in to the err-drop delivery-path rule.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mndmst"
+	"mndmst/internal/trace"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-yet-running jobs;
+	// submissions beyond it fail with QueueFullError (default 64).
+	QueueDepth int
+	// GraphCacheBytes bounds the decoded-graph LRU (default 256 MiB). The
+	// most recently used graph is always retained, even oversized.
+	GraphCacheBytes int64
+	// ResultCacheEntries bounds the result cache (default 1024 entries).
+	ResultCacheEntries int
+	// DefaultTimeout is applied to jobs that request no deadline
+	// (0 = jobs without a requested deadline run unbounded).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (0 = no cap).
+	MaxTimeout time.Duration
+	// GraphDir is the directory file-based graph specs (path/text) are
+	// resolved under; "" disables file loading entirely.
+	GraphDir string
+	// JobHistory bounds how many finished job records stay queryable via
+	// Job/GET /v1/jobs/{id} (default 4096; oldest evicted first).
+	JobHistory int
+	// Logf, when non-nil, receives diagnostic messages (delivery failures
+	// on the HTTP path); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.GraphCacheBytes <= 0 {
+		c.GraphCacheBytes = 256 << 20
+	}
+	if c.ResultCacheEntries <= 0 {
+		c.ResultCacheEntries = 1024
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 4096
+	}
+	return c
+}
+
+// QueueFullError is the typed admission-control rejection: the job queue
+// already holds Depth jobs. Clients should back off and retry.
+type QueueFullError struct {
+	// Depth is the configured queue bound that was hit.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: job queue full (depth %d); retry later", e.Depth)
+}
+
+// ErrDraining rejects submissions arriving after Shutdown began.
+var ErrDraining = errors.New("serve: server is draining; not accepting jobs")
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle states. Every admitted job ends in exactly one of the
+// three terminal states (done, failed, canceled).
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Job is one admitted MSF computation request moving through the queue.
+type Job struct {
+	id     string
+	req    JobRequest
+	system string
+	opts   mndmst.Options
+	fpr    string // options fingerprint (cache key part)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	cacheHit  bool
+	coalesced bool
+	record    *Record
+	traceRecs []trace.Record
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+}
+
+// ID returns the job's server-assigned identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error of a failed or canceled job (nil
+// otherwise, including while still in flight).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Record returns the result record of a done job (nil otherwise). The
+// returned record always carries the forest edge ids; rendering layers
+// strip them unless requested.
+func (j *Job) Record() *Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.record
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state exactly once.
+func (j *Job) finish(state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.record = rec
+	j.traceRecs = traceRecs
+	j.cacheHit = hit
+	j.coalesced = coalesced
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Server is the MST job service: registry + queue + worker pool + result
+// cache. Create with New, serve HTTP via Handler, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	registry *registry
+	results  *resultCache
+
+	// execute runs one resolved computation; tests substitute it to make
+	// job duration controllable. Set only before the first Submit.
+	execute func(ctx context.Context, g *mndmst.Graph, system string, opts mndmst.Options) (*mndmst.Result, error)
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *Job // buffered to QueueDepth; send/close only under mu
+	queued   int
+	running  int
+	nextID   int64
+	jobs     map[string]*Job
+	history  []string // finished job ids, oldest first
+
+	jobsSubmitted int64
+	jobsCompleted int64
+	jobsFailed    int64
+	jobsCanceled  int64
+	jobsRejected  int64
+
+	wg      sync.WaitGroup
+	drained chan struct{} // closed once every worker has exited
+}
+
+// New starts a Server with cfg's worker pool running. The caller must
+// eventually call Shutdown to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: newRegistry(cfg.GraphDir, cfg.GraphCacheBytes),
+		results:  newResultCache(cfg.ResultCacheEntries),
+		execute:  defaultExecute,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		drained:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	go func() {
+		s.wg.Wait()
+		close(s.drained)
+	}()
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// defaultExecute runs the requested algorithm in-process.
+func defaultExecute(ctx context.Context, g *mndmst.Graph, system string, opts mndmst.Options) (*mndmst.Result, error) {
+	switch system {
+	case SystemMND:
+		return mndmst.FindMSFContext(ctx, g, opts)
+	case SystemBSP:
+		return mndmst.FindMSFBSPContext(ctx, g, opts)
+	case SystemSeq:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return mndmst.FindMSFSequential(g), nil
+	}
+	return nil, fmt.Errorf("serve: unknown system %q", system)
+}
+
+// Submit validates and admits one job. It returns a typed error without
+// admitting anything when the request is malformed, the queue is at its
+// configured depth (QueueFullError), or the server is draining
+// (ErrDraining). An admitted job is guaranteed to reach exactly one
+// terminal state.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	system, opts, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := req.Graph.canonicalKey(s.registry.dir); err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(req.TimeoutMillis) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.jobsRejected++
+		return nil, ErrDraining
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.jobsRejected++
+		return nil, &QueueFullError{Depth: s.cfg.QueueDepth}
+	}
+	s.nextID++
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	job := &Job{
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		req:       req,
+		system:    system,
+		opts:      opts,
+		fpr:       opts.Fingerprint(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[job.id] = job
+	s.queued++
+	s.jobsSubmitted++
+	// The send cannot block: queue capacity equals QueueDepth and queued
+	// never exceeds it, and close happens only under this same mutex.
+	s.queue <- job
+	return job, nil
+}
+
+// Job looks up a job by id. Finished jobs stay queryable until evicted
+// from the bounded history.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker executes queued jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.running++
+		s.mu.Unlock()
+		s.runJob(job)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		s.retire(job)
+	}
+}
+
+// runJob drives one admitted job to its terminal state.
+func (s *Server) runJob(job *Job) {
+	defer job.cancel()
+	if err := job.ctx.Err(); err != nil {
+		s.finishJob(job, StateCanceled, nil, nil, false, false,
+			fmt.Errorf("serve: job %s canceled while queued: %w", job.id, err))
+		return
+	}
+	job.setRunning()
+	g, digest, err := s.registry.resolve(job.req.Graph)
+	if err != nil {
+		s.finishJob(job, StateFailed, nil, nil, false, false, err)
+		return
+	}
+	key := digest + "|" + job.system + "|" + job.fpr
+	ent, src, err := s.results.do(job.ctx, key, func() (*cacheEntry, error) {
+		res, err := s.execute(job.ctx, g, job.system, job.opts)
+		if err != nil {
+			return nil, err
+		}
+		rec := newRecord(g, digest, job.system, job.opts, res)
+		ent := &cacheEntry{rec: rec}
+		if res.Trace != nil {
+			ent.traceRecs = res.Trace.Records()
+		}
+		return ent, nil
+	})
+	if err != nil {
+		state := StateFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			state = StateCanceled
+		}
+		s.finishJob(job, state, nil, nil, false, false, err)
+		return
+	}
+	s.finishJob(job, StateDone, &ent.rec, ent.traceRecs, src == srcHit, src == srcCoalesced, nil)
+}
+
+// finishJob records the terminal state in both the job and the counters.
+func (s *Server) finishJob(job *Job, state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) {
+	job.finish(state, rec, traceRecs, hit, coalesced, err)
+	s.mu.Lock()
+	switch state {
+	case StateDone:
+		s.jobsCompleted++
+	case StateFailed:
+		s.jobsFailed++
+	case StateCanceled:
+		s.jobsCanceled++
+	}
+	s.mu.Unlock()
+}
+
+// retire keeps the finished-job history bounded.
+func (s *Server) retire(job *Job) {
+	s.mu.Lock()
+	s.history = append(s.history, job.id)
+	for len(s.history) > s.cfg.JobHistory {
+		delete(s.jobs, s.history[0])
+		s.history = s.history[1:]
+	}
+	s.mu.Unlock()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: admission stops immediately (subsequent
+// Submits fail with ErrDraining), queued and in-flight jobs run to
+// completion, and the worker pool exits. If ctx expires first, every
+// unfinished job's context is canceled — the jobs then reach the canceled
+// state rather than being lost — and Shutdown still waits for the workers
+// before returning ctx's error. Safe to call multiple times; the server
+// cannot be restarted afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-s.drained
+		return ctx.Err()
+	}
+}
+
+// Stats is the observable state of the server, served at /v1/stats.
+type Stats struct {
+	Draining bool `json:"draining"`
+	Workers  int  `json:"workers"`
+	QueueCap int  `json:"queue_cap"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+
+	// Computations counts executions that actually ran the algorithm —
+	// result-cache misses. ResultCacheHits are answered from memory;
+	// ResultCacheCoalesced waited on an identical in-flight computation.
+	Computations         int64 `json:"computations"`
+	ResultCacheHits      int64 `json:"result_cache_hits"`
+	ResultCacheCoalesced int64 `json:"result_cache_coalesced"`
+	ResultCacheEntries   int   `json:"result_cache_entries"`
+
+	GraphCacheHits      int64 `json:"graph_cache_hits"`
+	GraphCacheLoads     int64 `json:"graph_cache_loads"`
+	GraphCacheEvictions int64 `json:"graph_cache_evictions"`
+	GraphsCached        int   `json:"graphs_cached"`
+	GraphCacheBytes     int64 `json:"graph_cache_bytes"`
+	GraphCacheCapBytes  int64 `json:"graph_cache_cap_bytes"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Draining:      s.draining,
+		Workers:       s.cfg.Workers,
+		QueueCap:      s.cfg.QueueDepth,
+		Queued:        s.queued,
+		Running:       s.running,
+		JobsSubmitted: s.jobsSubmitted,
+		JobsCompleted: s.jobsCompleted,
+		JobsFailed:    s.jobsFailed,
+		JobsCanceled:  s.jobsCanceled,
+		JobsRejected:  s.jobsRejected,
+	}
+	s.mu.Unlock()
+	s.results.fill(&st)
+	s.registry.fill(&st)
+	return st
+}

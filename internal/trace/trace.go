@@ -31,18 +31,20 @@ type Record struct {
 	Wall      float64 `json:"wall_s,omitempty"`
 }
 
-// WriteJSONL emits one Record per rank plus one per (rank, phase) pair.
-func WriteJSONL(w io.Writer, rep *cluster.Report) error {
-	enc := json.NewEncoder(w)
+// Records flattens a report into the JSONL record sequence — one "rank"
+// record per rank followed by its sorted "phase" records — without
+// serializing. The serve layer embeds the slice directly into HTTP job
+// responses (per-job report export); WriteJSONL streams the same records
+// to a file.
+func Records(rep *cluster.Report) []Record {
+	var out []Record
 	for _, r := range rep.Ranks {
-		if err := enc.Encode(Record{
+		out = append(out, Record{
 			Kind: "rank", Rank: r.Rank,
 			Total: r.Total, Compute: r.Compute, Comm: r.Comm,
 			BytesSent: r.BytesSent, Msgs: r.MsgsSent,
 			Wall: r.Wall,
-		}); err != nil {
-			return err
-		}
+		})
 		phases := make([]string, 0, len(r.Phases))
 		for name := range r.Phases {
 			phases = append(phases, name)
@@ -50,14 +52,23 @@ func WriteJSONL(w io.Writer, rep *cluster.Report) error {
 		sort.Strings(phases)
 		for _, name := range phases {
 			p := r.Phases[name]
-			if err := enc.Encode(Record{
+			out = append(out, Record{
 				Kind: "phase", Rank: r.Rank, Phase: name,
 				Compute: p.Compute, Comm: p.Comm,
 				BytesSent: p.BytesSent, Msgs: p.Msgs,
 				Wall: p.Wall,
-			}); err != nil {
-				return err
-			}
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSONL emits one Record per rank plus one per (rank, phase) pair.
+func WriteJSONL(w io.Writer, rep *cluster.Report) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range Records(rep) {
+		if err := enc.Encode(rec); err != nil {
+			return err
 		}
 	}
 	return nil

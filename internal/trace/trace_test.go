@@ -67,6 +67,46 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordsMatchesJSONL: the in-memory record sequence the serve layer
+// embeds into job responses is exactly what WriteJSONL serializes — one
+// flattening, two transports.
+func TestRecordsMatchesJSONL(t *testing.T) {
+	rep := sampleReport(t)
+	recs := Records(rep)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(streamed) {
+		t.Fatalf("Records returned %d records, WriteJSONL emitted %d", len(recs), len(streamed))
+	}
+	for i := range recs {
+		if recs[i] != streamed[i] {
+			t.Fatalf("record %d diverges:\n in-memory %+v\n  streamed %+v", i, recs[i], streamed[i])
+		}
+	}
+	// Per rank: the "rank" record leads, its phases follow sorted by name.
+	lastRank, lastPhase := -1, ""
+	for _, r := range recs {
+		switch r.Kind {
+		case "rank":
+			if r.Rank <= lastRank {
+				t.Fatalf("rank records out of order: %d after %d", r.Rank, lastRank)
+			}
+			lastRank, lastPhase = r.Rank, ""
+		case "phase":
+			if r.Rank != lastRank || r.Phase <= lastPhase {
+				t.Fatalf("phase record out of order: %+v", r)
+			}
+			lastPhase = r.Phase
+		}
+	}
+}
+
 func TestReadJSONLRejectsGarbage(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")

@@ -25,9 +25,11 @@
 package mndmst
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"mndmst/internal/boruvka"
@@ -114,6 +116,13 @@ func (g *Graph) ComputeStats() Stats {
 		Components: st.Components,
 	}
 }
+
+// Digest returns the content digest of the graph ("sha256:..."): a hash
+// of the canonical container bytes, identical for two graphs exactly when
+// they have the same vertices, edge order, and weights. The serving layer
+// keys its graph and result caches by this digest, so repeated jobs over
+// the same content — however it was loaded or generated — share work.
+func (g *Graph) Digest() string { return graph.Digest(g.el) }
 
 // SaveGraph writes the graph to a binary container file.
 func SaveGraph(path string, g *Graph) error { return graph.SaveEdgeList(path, g.el) }
@@ -403,6 +412,40 @@ func (o Options) nodes() int {
 	return o.Nodes
 }
 
+// Fingerprint returns the canonical identity of every result-relevant
+// option as a short string: two Options with equal fingerprints produce
+// identical Results on the same Graph (same forest, same simulated
+// metrics). Defaults are normalized first, so the zero Options and an
+// explicit {Nodes: 1, GroupSize: 4} fingerprint identically. Execution
+// plumbing that cannot change the answer — Transport, Cluster, Chaos — is
+// deliberately excluded. The serving layer combines this fingerprint with
+// the graph digest as its result-cache key.
+func (o Options) Fingerprint() string {
+	machine := "amd"
+	if o.Machine == CrayXC40 {
+		machine = "cray"
+	}
+	gpus := 0
+	if o.UseGPU {
+		gpus = o.GPUsPerNode
+		if gpus < 1 {
+			gpus = 1
+		}
+	}
+	group := o.GroupSize
+	if group <= 0 {
+		group = 4 // hypar.DefaultConfig's GroupSize
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1;nodes=%d;machine=%s;gpus=%d;group=%d;excpt=%d;dimin=%t;topo=%t;contract=%t;gpushare=%g",
+		o.nodes(), machine, gpus, group, o.Exception,
+		o.DiminishingTermination, o.TopologyDriven, o.Contraction, o.GPUShare)
+	for _, s := range o.NodeSpeeds {
+		fmt.Fprintf(&b, ";speed=%g", s)
+	}
+	return b.String()
+}
+
 // PhaseTime is the per-phase time split of a run.
 type PhaseTime struct {
 	Phase   string
@@ -464,6 +507,12 @@ func (t *RunTrace) WriteCSV(w io.Writer) error { return trace.WriteCSV(w, t.rep)
 
 // Profile renders an aligned text view with a load-balance summary.
 func (t *RunTrace) Profile() string { return trace.Profile(t.rep) }
+
+// Records flattens the per-rank accounting into the record sequence the
+// JSONL export writes — the form the serving layer embeds in HTTP job
+// responses. The record type lives in internal/trace, so this accessor is
+// usable only inside the module (the serve layer and the commands).
+func (t *RunTrace) Records() []trace.Record { return trace.Records(t.rep) }
 
 func resultFromReport(rep *cluster.Report) *Result {
 	res := &Result{
@@ -554,6 +603,53 @@ func FindMSFDistributed(g *Graph, opts Options, cfg ClusterConfig) (*Result, err
 	}
 	out.Rank = ep.Rank()
 	return out, nil
+}
+
+// runCtx runs f on its own goroutine and waits for either its outcome or
+// ctx. The underlying computation is not preemptible: when ctx fires
+// first, runCtx returns ctx.Err() immediately and the goroutine finishes
+// in the background, its result discarded into the buffered channel. This
+// trades (bounded) abandoned work for a responsive cancellation surface —
+// the serving layer's admission control relies on it to honour per-job
+// deadlines without threading contexts through the simulation core.
+func runCtx[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	//lint:detached intentionally abandoned on cancellation; the buffered channel guarantees it never blocks
+	go func() {
+		v, err := f()
+		ch <- outcome{v, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// FindMSFContext is FindMSF bounded by a context: it returns ctx.Err() as
+// soon as the context is canceled or its deadline passes. The computation
+// itself is not preemptible — a canceled call abandons the in-flight run,
+// which finishes in the background and is discarded.
+func FindMSFContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runCtx(ctx, func() (*Result, error) { return FindMSF(g, opts) })
+}
+
+// FindMSFBSPContext is FindMSFBSP bounded by a context, with the same
+// abandon-on-cancel semantics as FindMSFContext.
+func FindMSFBSPContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runCtx(ctx, func() (*Result, error) { return FindMSFBSP(g, opts) })
 }
 
 // FindMSFBSP computes the same forest with the Pregel+-style BSP baseline

@@ -2,13 +2,31 @@
 # Release gate: format check, static analysis, build, vet, full tests,
 # full race matrix, smokes, quick benches. Mirrors .github/workflows/ci.yml.
 #
-#   scripts/check.sh          full gate (includes the chaos suite)
+#   scripts/check.sh          full gate (includes the chaos + serve suites)
 #   scripts/check.sh --chaos  chaos + differential oracle suite only:
 #                             two fixed seeds plus one rotating seed,
 #                             logged so any failure replays exactly via
 #                             MNDMST_TEST_SEED=<seed>
+#   scripts/check.sh --serve  job-service suite only: race-checked serve
+#                             and mndmst-serve tests (concurrent HTTP
+#                             clients, coalescing, admission, SIGTERM
+#                             drain) plus the throughput bench that emits
+#                             BENCH_serve.json
 set -eu
 cd "$(dirname "$0")/.."
+
+run_serve() {
+    # Job-service suite: the serve package and its binary under the race
+    # detector (the HTTP e2e test runs 8 concurrent clients; the smoke
+    # test delivers a real SIGTERM), then the cold/hot-cache throughput
+    # bench so BENCH_serve.json tracks serving overhead across revisions.
+    echo "== serve suite (race) =="
+    go test -race -timeout 300s -count=1 ./internal/serve/ ./cmd/mndmst-serve/
+    echo "== serve throughput bench (emits BENCH_serve.json) =="
+    MNDMST_BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
+        go test -run XXX -bench BenchmarkServeThroughput -benchtime 50x ./internal/serve/
+    cat BENCH_serve.json
+}
 
 run_chaos() {
     # Fault-injection suite: deterministic chaos transport + differential
@@ -27,6 +45,12 @@ run_chaos() {
 if [ "${1:-}" = "--chaos" ]; then
     run_chaos
     echo "chaos checks passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+    run_serve
+    echo "serve checks passed"
     exit 0
 fi
 
@@ -68,8 +92,13 @@ go test -race -timeout 90s \
 
 run_chaos
 
+run_serve
+
 echo "== multi-process smoke (loopback TCP workers) =="
 go run ./cmd/mndmst -launch local:4 -profile arabic-2005 -scale 0.05 -verify
+
+echo "== json record smoke (CLI/server shared schema) =="
+go run ./cmd/mndmst -profile arabic-2005 -scale 0.05 -verify -json
 
 echo "== benches (smoke; emits BENCH_comm.json) =="
 MNDMST_BENCH_SCALE="${MNDMST_BENCH_SCALE:-0.1}" \

@@ -8,6 +8,11 @@
 //	mndmst-lint ./...                   # whole module (CI gate)
 //	mndmst-lint ./internal/merge        # one package
 //	mndmst-lint -checks                 # list the check IDs and exit
+//	mndmst-lint -baseline lint.baseline.json ./...   # gate on new findings only
+//	mndmst-lint -baseline lint.baseline.json -update-baseline ./...
+//	mndmst-lint -sarif lint.sarif.json ./...         # SARIF 2.1.0 report
+//	mndmst-lint -fix ./...              # apply suggested fixes, re-analyze
+//	mndmst-lint -github ./...           # ::error annotations for CI logs
 //
 // Checks and their //lint: justification tokens are documented in
 // DESIGN.md ("Determinism & analysis rules"). Exit status: 0 clean,
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"mndmst/internal/lint"
 )
@@ -31,39 +37,117 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("mndmst-lint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		listChecks = fs.Bool("checks", false, "list the check IDs and exit")
-		quiet      = fs.Bool("q", false, "suppress the summary line")
+		listChecks   = fs.Bool("checks", false, "list the check IDs and exit")
+		quiet        = fs.Bool("q", false, "suppress the summary line")
+		sarifPath    = fs.String("sarif", "", "write a SARIF 2.1.0 report of the (unbaselined) findings to this file")
+		baselineFile = fs.String("baseline", "", "filter findings through this committed baseline file")
+		updateBl     = fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit clean")
+		fix          = fs.Bool("fix", false, "apply the suggested fixes, then re-run the analysis")
+		github       = fs.Bool("github", false, "emit GitHub workflow annotation lines (::error ...) for findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *listChecks {
 		for _, c := range lint.Checks {
-			fmt.Fprintf(out, "%-14s (suppress: //lint:%s) %s\n", c.ID, c.Suppress, c.Doc)
+			fmt.Fprintf(out, "%-20s (suppress: //lint:%s) %s\n", c.ID, c.Suppress, c.Doc)
 		}
 		return 0
+	}
+	if *updateBl && *baselineFile == "" {
+		fmt.Fprintln(errOut, "mndmst-lint: -update-baseline requires -baseline <path>")
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
 	pkgs, err := lint.Load(patterns)
 	if err != nil {
 		fmt.Fprintln(errOut, "mndmst-lint:", err)
 		return 2
 	}
 	findings := lint.Run(pkgs)
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+
+	if *fix {
+		applied, files, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
+		if applied > 0 {
+			if !*quiet {
+				fmt.Fprintf(errOut, "mndmst-lint: applied %d fix(es) in %d file(s)\n", applied, len(files))
+			}
+			// The tree changed under us: re-analyze what remains.
+			if pkgs, err = lint.Load(patterns); err != nil {
+				fmt.Fprintln(errOut, "mndmst-lint:", err)
+				return 2
+			}
+			findings = lint.Run(pkgs)
+		}
 	}
-	if len(findings) > 0 {
+
+	base := ""
+	if *sarifPath != "" || *baselineFile != "" || *github {
+		if base, err = lint.ModuleRoot(); err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
+	}
+
+	if *updateBl {
+		if err := lint.WriteBaseline(*baselineFile, findings, base); err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
 		if !*quiet {
-			fmt.Fprintf(errOut, "mndmst-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+			fmt.Fprintf(errOut, "mndmst-lint: baseline %s rewritten with %d finding(s)\n", *baselineFile, len(findings))
+		}
+		return 0
+	}
+
+	fresh, absorbed := findings, 0
+	if *baselineFile != "" {
+		bl, err := lint.LoadBaseline(*baselineFile)
+		if err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
+		fresh, absorbed = lint.FilterBaseline(findings, bl, base)
+	}
+
+	if *sarifPath != "" {
+		data, err := lint.SARIF(fresh, base)
+		if err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
+		if err := os.WriteFile(*sarifPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(errOut, "mndmst-lint:", err)
+			return 2
+		}
+	}
+
+	for _, f := range fresh {
+		fmt.Fprintln(out, f)
+		if *github {
+			file := f.Pos.Filename
+			if rel, err := filepath.Rel(base, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+			fmt.Fprintf(out, "::error file=%s,line=%d,col=%d::%s: %s\n", file, f.Pos.Line, f.Pos.Column, f.ID, f.Msg)
+		}
+	}
+	if len(fresh) > 0 {
+		if !*quiet {
+			fmt.Fprintf(errOut, "mndmst-lint: %d new finding(s) in %d package(s) (%d baselined)\n", len(fresh), len(pkgs), absorbed)
 		}
 		return 1
 	}
 	if !*quiet {
-		fmt.Fprintf(errOut, "mndmst-lint: %d package(s) clean\n", len(pkgs))
+		fmt.Fprintf(errOut, "mndmst-lint: %d package(s) clean (%d baselined finding(s))\n", len(pkgs), absorbed)
 	}
 	return 0
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // TestExitCodes pins the command's contract: 0 on a clean tree, 1 when
-// findings are reported, 0 for -checks.
+// findings are reported, 2 when loading fails, 0 for -checks.
 func TestExitCodes(t *testing.T) {
 	var out, errOut strings.Builder
 	if c := run([]string{"../../internal/lint/testdata/src/good"}, &out, &errOut); c != 0 {
@@ -24,12 +27,130 @@ func TestExitCodes(t *testing.T) {
 
 	out.Reset()
 	errOut.Reset()
+	if c := run([]string{"./does-not-exist"}, &out, &errOut); c != 2 {
+		t.Errorf("unloadable pattern: exit %d, want 2\n%s%s", c, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
 	if c := run([]string{"-checks"}, &out, &errOut); c != 0 {
 		t.Errorf("-checks: exit %d, want 0", c)
 	}
-	for _, id := range []string{"det-mapiter", "det-wallclock", "tag-literal", "tag-dup", "go-hygiene", "err-drop", "weight-cmp"} {
+	for _, id := range []string{
+		"det-mapiter", "det-wallclock", "tag-literal", "tag-dup", "go-hygiene",
+		"err-drop", "weight-cmp", "lock-order", "goroutine-leak", "ctx-prop",
+		"collective-symmetry", "stale-justification",
+	} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("-checks output lacks %s:\n%s", id, out.String())
 		}
+	}
+}
+
+// TestBaselineFlags: -update-baseline writes a baseline that absorbs every
+// current finding, after which the same invocation gates clean; and
+// -update-baseline without -baseline is a usage error.
+func TestBaselineFlags(t *testing.T) {
+	bl := filepath.Join(t.TempDir(), "baseline.json")
+	corpus := "../../internal/lint/testdata/src/bad"
+
+	var out, errOut strings.Builder
+	if c := run([]string{"-baseline", bl, "-update-baseline", corpus}, &out, &errOut); c != 0 {
+		t.Fatalf("-update-baseline: exit %d\n%s%s", c, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if c := run([]string{"-baseline", bl, corpus}, &out, &errOut); c != 0 {
+		t.Errorf("baselined corpus: exit %d, want 0\n%s%s", c, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "baselined") {
+		t.Errorf("summary does not report absorbed findings:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if c := run([]string{"-update-baseline", corpus}, &out, &errOut); c != 2 {
+		t.Errorf("-update-baseline without -baseline: exit %d, want 2", c)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if c := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json"), corpus}, &out, &errOut); c != 2 {
+		t.Errorf("missing baseline file: exit %d, want 2", c)
+	}
+}
+
+// TestSARIFFlag writes a report and checks it is valid JSON with results.
+func TestSARIFFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.sarif")
+	var out, errOut strings.Builder
+	if c := run([]string{"-sarif", path, "../../internal/lint/testdata/src/bad"}, &out, &errOut); c != 1 {
+		t.Fatalf("exit %d, want 1\n%s%s", c, out.String(), errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("unexpected report shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+}
+
+// TestGitHubFlag checks the ::error annotation lines.
+func TestGitHubFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if c := run([]string{"-github", "../../internal/lint/testdata/src/bad"}, &out, &errOut); c != 1 {
+		t.Fatalf("exit %d, want 1\n%s%s", c, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "::error file=internal/lint/testdata/src/bad/") {
+		t.Errorf("output lacks repo-relative ::error annotations:\n%s", out.String())
+	}
+}
+
+// TestFixFlag seeds a scratch package containing only a stale justification,
+// runs -fix, and expects the token removed and a clean exit on the re-run.
+func TestFixFlag(t *testing.T) {
+	dir := filepath.Join("testdata", "fixscratch")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll("testdata") })
+	src := filepath.Join(dir, "scratch.go")
+	const before = `package fixscratch
+
+func tidy() {
+	//lint:droperr nothing below drops an error
+	clean()
+}
+
+func clean() {}
+`
+	if err := os.WriteFile(src, []byte(before), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if c := run([]string{"-fix", "./" + filepath.ToSlash(dir)}, &out, &errOut); c != 0 {
+		t.Fatalf("-fix: exit %d, want 0 after fixes\n%s%s", c, out.String(), errOut.String())
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "lint:droperr") {
+		t.Errorf("stale justification survived -fix:\n%s", fixed)
+	}
+	if !strings.Contains(errOut.String(), "applied 1 fix(es)") {
+		t.Errorf("summary does not report the applied fix:\n%s", errOut.String())
 	}
 }

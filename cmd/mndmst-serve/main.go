@@ -86,7 +86,6 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "mndmst-serve: serving on %s (workers %d, queue %d)\n", ln.Addr(), *workers, *queueDepth)
 	servec := make(chan error, 1)
-	//lint:detached joined below: run returns only after receiving from servec
 	go func() { servec <- httpSrv.Serve(ln) }()
 
 	select {

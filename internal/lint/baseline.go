@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the committed ledger of accepted legacy findings: new checks
+// can land and gate CI immediately while the debt they surface is paid
+// down finding by finding. Entries are keyed (file, check, message) —
+// deliberately not by line, so unrelated edits shifting a file do not
+// resurrect baselined findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding (Count > 1 collapses duplicates of
+// the same file/check/message triple).
+type BaselineEntry struct {
+	File  string `json:"file"`
+	ID    string `json:"id"`
+	Msg   string `json:"msg"`
+	Count int    `json:"count"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error — a typo'd
+// path silently accepting everything would defeat the gate.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %v", err)
+	}
+	bl := new(Baseline)
+	if err := json.Unmarshal(data, bl); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	return bl, nil
+}
+
+// FilterBaseline splits findings into the new ones (returned) and those
+// matching a baseline entry (counted). Matching is multiset semantics:
+// an entry with Count n absorbs at most n findings of its triple.
+func FilterBaseline(findings []Finding, bl *Baseline, base string) (fresh []Finding, absorbed int) {
+	budget := map[[3]string]int{}
+	for _, e := range bl.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[[3]string{e.File, e.ID, e.Msg}] += n
+	}
+	for _, f := range findings {
+		key := [3]string{baselinePath(f.Pos.Filename, base), f.ID, f.Msg}
+		if budget[key] > 0 {
+			budget[key]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, absorbed
+}
+
+// WriteBaseline writes the findings as the new accepted baseline, sorted
+// and deduplicated into counted entries.
+func WriteBaseline(path string, findings []Finding, base string) error {
+	counts := map[[3]string]int{}
+	for _, f := range findings {
+		counts[[3]string{baselinePath(f.Pos.Filename, base), f.ID, f.Msg}]++
+	}
+	keys := make([][3]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	bl := &Baseline{Entries: make([]BaselineEntry, 0, len(keys))}
+	for _, k := range keys {
+		bl.Entries = append(bl.Entries, BaselineEntry{File: k[0], ID: k[1], Msg: k[2], Count: counts[k]})
+	}
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: baseline: %v", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselinePath normalizes a finding's filename for stable baseline keys:
+// relative to base (the repo root) with forward slashes.
+func baselinePath(path, base string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, path); err == nil {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

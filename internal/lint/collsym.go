@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// collSymScope names the packages whose tag protocols the symmetry check
+// covers: the merge exchange, the cluster collectives, and the core
+// driver. These are exactly the layers whose send/recv schedules must
+// mirror each other on every rank — the static analogue of the chaos
+// oracle's runtime assertion.
+var collSymScope = map[string]bool{
+	"merge":   true,
+	"cluster": true,
+	"core":    true,
+}
+
+// tagUse is one call site passing a named tag constant to a tag parameter.
+type tagUse struct {
+	send, recv bool
+	encoder    string // callee building the payload argument, if any
+	pos        token.Pos
+}
+
+// checkCollectiveSymmetry collects, program-wide, every use of a tag
+// constant as a `tag` argument in the scoped packages and checks the
+// protocol symmetry a desynced rank pair would violate at runtime:
+//
+//   - a tag sent somewhere must be received somewhere (and vice versa) —
+//     an unmatched side means some rank blocks forever or panics on a
+//     tag mismatch;
+//   - all sends of one tag must build their payload with the same encoder,
+//     or the receiving decode reads the wrong element type.
+func checkCollectiveSymmetry(prog *Program) []Finding {
+	uses := map[*types.Const][]tagUse{}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if !collSymScope[pathElem(p.ScopePath(f))] {
+				continue
+			}
+			collectTagUses(p, f, uses)
+		}
+	}
+
+	consts := make([]*types.Const, 0, len(uses))
+	for c := range uses {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+
+	var out []Finding
+	for _, c := range consts {
+		cu := uses[c]
+		var sends, recvs int
+		var encoders []tagUse
+		for _, u := range cu {
+			if u.send {
+				sends++
+				if u.encoder != "" {
+					encoders = append(encoders, u)
+				}
+			}
+			if u.recv {
+				recvs++
+			}
+		}
+		declPos := c.Pos()
+		switch {
+		case sends > 0 && recvs == 0:
+			if !prog.suppressed(declPos, "collective") {
+				out = append(out, prog.finding("collective-symmetry", declPos,
+					"tag constant %s is sent (%d site(s)) but never received in merge/cluster/core; the matching Recv is missing or mistagged — fix the pairing or justify with //lint:collective <reason>",
+					c.Name(), sends))
+			}
+		case recvs > 0 && sends == 0:
+			if !prog.suppressed(declPos, "collective") {
+				out = append(out, prog.finding("collective-symmetry", declPos,
+					"tag constant %s is received (%d site(s)) but never sent in merge/cluster/core; the matching Send is missing or mistagged — fix the pairing or justify with //lint:collective <reason>",
+					c.Name(), recvs))
+			}
+		}
+		if len(encoders) > 1 {
+			sort.Slice(encoders, func(i, j int) bool { return encoders[i].pos < encoders[j].pos })
+			first := encoders[0]
+			for _, u := range encoders[1:] {
+				if u.encoder == first.encoder {
+					continue
+				}
+				if prog.suppressed(u.pos, "collective") {
+					continue
+				}
+				out = append(out, prog.finding("collective-symmetry", u.pos,
+					"payload for tag %s is built by %s here but by %s at %s; every send of one tag must encode the same element type or the receiver decodes garbage",
+					c.Name(), u.encoder, first.encoder, prog.Fset().Position(first.pos)))
+			}
+		}
+	}
+	return out
+}
+
+// collectTagUses records every call in f that passes a named constant to a
+// parameter literally named `tag`, classifying the callee by name: a
+// callee mentioning "send" transmits, one mentioning "recv" receives, and
+// exchange-style helpers do both. Callees naming neither count as both
+// sides — an unknown helper must not fabricate an asymmetry finding.
+func collectTagUses(p *Package, f *ast.File, uses map[*types.Const][]tagUse) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := p.calleeSignature(call)
+		if sig == nil {
+			return true
+		}
+		params := sig.Params()
+		for i := 0; i < params.Len() && i < len(call.Args); i++ {
+			if params.At(i).Name() != "tag" {
+				continue
+			}
+			cst := p.constOf(call.Args[i])
+			if cst == nil || !strings.HasPrefix(strings.ToLower(cst.Name()), "tag") {
+				continue
+			}
+			u := tagUse{pos: call.Args[i].Pos()}
+			name := strings.ToLower(calleeName(p, call))
+			hasSend := strings.Contains(name, "send")
+			hasRecv := strings.Contains(name, "recv")
+			switch {
+			case hasSend && !hasRecv:
+				u.send = true
+			case hasRecv && !hasSend:
+				u.recv = true
+			default:
+				// exchangeChunked-style helpers, or an unknown callee:
+				// both directions.
+				u.send, u.recv = true, true
+			}
+			if u.send {
+				u.encoder = payloadEncoder(p, sig, call, i)
+			}
+			uses[cst] = append(uses[cst], u)
+		}
+		return true
+	})
+}
+
+// constOf resolves e to the named constant it references, or nil.
+func (p *Package) constOf(e ast.Expr) *types.Const {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := p.objectOf(v).(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := p.objectOf(v.Sel).(*types.Const)
+		return c
+	case *ast.CallExpr:
+		// Conversion of a constant: int32(tagFoo).
+		if len(v.Args) == 1 && p.Info != nil {
+			if tv, ok := p.Info.Types[v.Fun]; ok && tv.IsType() {
+				return p.constOf(v.Args[0])
+			}
+		}
+	}
+	return nil
+}
+
+// payloadEncoder names the function that builds the payload argument of a
+// send-like call — the first slice-typed parameter after the tag — when
+// that argument is a direct call. Variables and literals return "".
+func payloadEncoder(p *Package, sig *types.Signature, call *ast.CallExpr, tagIdx int) string {
+	params := sig.Params()
+	for j := tagIdx + 1; j < params.Len() && j < len(call.Args); j++ {
+		if _, ok := params.At(j).Type().Underlying().(*types.Slice); !ok {
+			continue
+		}
+		if enc, ok := ast.Unparen(call.Args[j]).(*ast.CallExpr); ok {
+			if tv, ok := p.Info.Types[enc.Fun]; ok && tv.IsType() {
+				return "" // conversion, not an encoder
+			}
+			return exprText(enc.Fun)
+		}
+		return ""
+	}
+	return ""
+}
+
+// calleeName renders the called function's bare name for classification.
+func calleeName(p *Package, call *ast.CallExpr) string {
+	if obj := p.calleeObject(call); obj != nil {
+		return obj.Name()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -6,10 +6,19 @@ import (
 	"strings"
 )
 
+// directive is one parsed //lint:<token> comment. used flips when the
+// directive actually suppresses a finding during a Run; the
+// stale-justification check flags directives that never fire.
+type directive struct {
+	tok  string
+	c    *ast.Comment
+	used bool
+}
+
 // fileDirectives holds the parsed //lint: comments of one file.
 type fileDirectives struct {
-	// tokens maps a source line to the suppression tokens present on it.
-	tokens map[int][]string
+	// tokens maps a source line to the directives present on it.
+	tokens map[int][]*directive
 	// pathOverride is the //lint:path value, if any (self-test corpus).
 	pathOverride string
 }
@@ -23,7 +32,7 @@ type fileDirectives struct {
 //	//lint:detached joined via Coordinator.Wait
 //	go func() { ... }()
 func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
-	d := &fileDirectives{tokens: map[int][]string{}}
+	d := &fileDirectives{tokens: map[int][]*directive{}}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
@@ -43,7 +52,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 				continue
 			}
 			line := fset.Position(c.Pos()).Line
-			d.tokens[line] = append(d.tokens[line], tok)
+			d.tokens[line] = append(d.tokens[line], &directive{tok: tok, c: c})
 		}
 	}
 	return d
@@ -63,13 +72,16 @@ func (p *Package) fileDirectives(f *ast.File) *fileDirectives {
 }
 
 // suppressed reports whether a finding at pos in file f is justified by a
-// //lint:<tok> comment on the same line or the line above.
+// //lint:<tok> comment on the same line or the line above, and marks the
+// matching directive as used. Checks must therefore consult it only once
+// a violation is established, or the staleness accounting goes blind.
 func (p *Package) suppressed(f *ast.File, pos token.Pos, tok string) bool {
 	d := p.fileDirectives(f)
 	line := p.Fset.Position(pos).Line
 	for _, l := range []int{line, line - 1} {
-		for _, t := range d.tokens[l] {
-			if t == tok {
+		for _, dir := range d.tokens[l] {
+			if dir.tok == tok {
+				dir.used = true
 				return true
 			}
 		}

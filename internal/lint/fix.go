@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in a source file. A Start==End
+// edit is a pure insertion; a New=="" edit is a deletion (ApplyFixes
+// widens deletions to swallow the surrounding whitespace and, for a
+// comment alone on its line, the whole line).
+type TextEdit struct {
+	Filename string
+	Start    int
+	End      int
+	New      string
+}
+
+// ApplyFixes applies every suggested fix carried by the findings and
+// reformats the touched files with gofmt. Overlapping edits in one file
+// are rejected rather than half-applied. It returns the number of edits
+// applied and the files changed, in sorted order.
+func ApplyFixes(findings []Finding) (applied int, files []string, err error) {
+	byFile := map[string][]TextEdit{}
+	for _, f := range findings {
+		for _, e := range f.Fix {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		edits := byFile[name]
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return applied, files, fmt.Errorf("lint: fix %s: %v", name, err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].End > edits[i-1].Start {
+				return applied, files, fmt.Errorf("lint: fix %s: overlapping edits at offsets %d and %d", name, edits[i].Start, edits[i-1].Start)
+			}
+		}
+		out := src
+		for _, e := range edits {
+			start, end := e.Start, e.End
+			if start < 0 || end > len(out) || start > end {
+				return applied, files, fmt.Errorf("lint: fix %s: edit range [%d,%d) out of bounds", name, start, end)
+			}
+			if e.New == "" {
+				start, end = widenDeletion(out, start, end)
+			}
+			merged := make([]byte, 0, len(out)-(end-start)+len(e.New))
+			merged = append(merged, out[:start]...)
+			merged = append(merged, e.New...)
+			merged = append(merged, out[end:]...)
+			out = merged
+			applied++
+		}
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return applied, files, fmt.Errorf("lint: fix %s: result does not parse: %v", name, ferr)
+		}
+		if err := os.WriteFile(name, formatted, 0o644); err != nil {
+			return applied, files, fmt.Errorf("lint: fix %s: %v", name, err)
+		}
+		files = append(files, name)
+	}
+	return applied, files, nil
+}
+
+// widenDeletion grows a deletion range over the horizontal whitespace
+// before it, and — when that leaves the line empty — over the whole line
+// including its newline, so removing a standalone comment does not leave
+// a blank line behind.
+func widenDeletion(src []byte, start, end int) (int, int) {
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	lineStart := start == 0 || src[start-1] == '\n'
+	atEOL := end == len(src) || src[end] == '\n'
+	if lineStart && atEOL && end < len(src) {
+		end++ // swallow the newline of a now-empty line
+	}
+	return start, end
+}

@@ -40,9 +40,6 @@ func checkGoHygiene(p *Package) []Finding {
 			if !ok {
 				return true
 			}
-			if p.suppressed(f, gs.Pos(), "detached") {
-				return true
-			}
 			// The innermost function node below the GoStmt on the stack is
 			// the spawning function (the goroutine's own FuncLit has not
 			// been visited yet).
@@ -56,7 +53,7 @@ func checkGoHygiene(p *Package) []Finding {
 					break
 				}
 			}
-			if encl == nil || !p.hasJoin(encl, gs) {
+			if (encl == nil || !p.hasJoin(encl, gs)) && !p.suppressed(f, gs.Pos(), "detached") {
 				out = append(out, p.finding("go-hygiene", gs,
 					"goroutine is never joined in the spawning function; add a WaitGroup/channel join or justify with //lint:detached <reason>"))
 			}

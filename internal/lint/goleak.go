@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroutineLeak flags `go` statements whose goroutine has no visible
+// termination path: nothing ties its lifetime to a context.Context, a
+// done-channel (receive, select, or range over a channel), or a
+// sync.WaitGroup. It complements go-hygiene: that check demands a join in
+// the spawning function outside the concurrency layers; this one follows
+// the goroutine's own body — across package boundaries when the statement
+// launches a named function — and asks how the goroutine itself ever
+// stops. A loop-free body terminates on its own and passes; an unbounded
+// `for` loop with no ctx/channel/WaitGroup evidence is a leak: it outlives
+// every shutdown path and pins its rank's resources forever.
+func checkGoroutineLeak(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, bodyPkg := resolveGoBody(prog, p, gs)
+				leak := false
+				var why string
+				if body != nil {
+					if hasUnboundedLoop(body) && !terminationEvidence(bodyPkg, body) {
+						leak = true
+						why = "goroutine loops forever with no termination path (no context, done-channel receive/select, or WaitGroup in its body)"
+					}
+				} else if !launchSiteEvidence(p, gs.Call) {
+					leak = true
+					why = "goroutine body is not resolvable here and nothing at the launch site (context, channel, or WaitGroup argument) bounds its lifetime"
+				}
+				if leak && !p.suppressed(f, gs.Pos(), "goleak") {
+					out = append(out, p.finding("goroutine-leak", gs,
+						"%s; tie it to a ctx/done-channel/WaitGroup or justify with //lint:goleak <reason>", why))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// resolveGoBody returns the body the goroutine will execute: the FuncLit's
+// own body, or — for `go f(...)` / `go t.m(...)` — the declaration of the
+// named function, wherever in the program it lives.
+func resolveGoBody(prog *Program, p *Package, gs *ast.GoStmt) (*ast.BlockStmt, *Package) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, p
+	}
+	if fn, ok := p.calleeObject(gs.Call).(*types.Func); ok && fn != nil {
+		if fb := prog.Body(fn); fb != nil {
+			return fb.Decl.Body, fb.Pkg
+		}
+	}
+	return nil, nil
+}
+
+// hasUnboundedLoop reports whether the body contains a `for` loop with no
+// condition — the shape of every run-until-stopped goroutine. Bounded
+// loops (`for i := 0; i < n; i++`, `for _, x := range xs`) terminate on
+// their own and are not leaks.
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fs, ok := n.(*ast.ForStmt); ok && fs.Cond == nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// terminationEvidence reports whether the body shows a lifetime tie: a
+// context value in play, a channel receive (bare, in a select, or by
+// ranging until close), a select statement, or WaitGroup/Wait bookkeeping.
+func terminationEvidence(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if isChanType(p.typeOf(nn.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait": // wg.Done / ctx.Done / wg.Wait
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isContextType(p.typeOf(nn)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// launchSiteEvidence reports whether a call whose body cannot be resolved
+// (function values, interface methods) is visibly bounded by its
+// arguments: a context, a channel, or a *sync.WaitGroup handed in is the
+// caller's termination handle.
+func launchSiteEvidence(p *Package, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := p.typeOf(arg)
+		if isContextType(t) || isChanType(t) {
+			return true
+		}
+		if t != nil {
+			tt := t
+			if ptr, ok := tt.(*types.Pointer); ok {
+				tt = ptr.Elem()
+			}
+			if named, ok := tt.(*types.Named); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+				return true
+			}
+		}
+	}
+	return false
+}

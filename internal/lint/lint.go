@@ -36,11 +36,13 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a source position.
+// Finding is one rule violation at a source position. Fix, when non-nil,
+// is a mechanical remediation `mndmst-lint -fix` can apply.
 type Finding struct {
 	Pos token.Position
 	ID  string
 	Msg string
+	Fix []TextEdit
 }
 
 func (f Finding) String() string {
@@ -59,7 +61,10 @@ type Package struct {
 	directives map[*ast.File]*fileDirectives
 }
 
-// Check is one analyzer of the suite.
+// Check is one analyzer of the suite. File-local checks set Run; the
+// whole-program checks set RunProgram and see every loaded package at
+// once (cross-package call graphs, tag constants used far from their
+// declarations). Exactly one of the two is non-nil.
 type Check struct {
 	// ID is the stable check identifier reported with each finding.
 	ID string
@@ -69,6 +74,8 @@ type Check struct {
 	Doc string
 	// Run analyzes one package.
 	Run func(p *Package) []Finding
+	// RunProgram analyzes the whole loaded program.
+	RunProgram func(prog *Program) []Finding
 }
 
 // Checks is the registry of the full suite, in reporting order.
@@ -115,15 +122,58 @@ var Checks = []Check{
 		Doc:      "edge weights are ordered only through the internal/graph tie-break helpers",
 		Run:      checkWeightCmp,
 	},
+	{
+		ID:         "lock-order",
+		Suppress:   "lockorder",
+		Doc:        "the mutex acquisition graph across transport, serve, and chaos must be cycle-free",
+		RunProgram: checkLockOrder,
+	},
+	{
+		ID:         "goroutine-leak",
+		Suppress:   "goleak",
+		Doc:        "every goroutine needs a termination path tied to a context, done-channel, or WaitGroup visible at the launch site",
+		RunProgram: checkGoroutineLeak,
+	},
+	{
+		ID:         "ctx-prop",
+		Suppress:   "noctx",
+		Doc:        "functions receiving a context must observe it in blocking calls and selects",
+		RunProgram: checkCtxProp,
+	},
+	{
+		ID:         "collective-symmetry",
+		Suppress:   "collective",
+		Doc:        "tag constants in merge/cluster/core are used in matched send/recv pairs with one payload encoding",
+		RunProgram: checkCollectiveSymmetry,
+	},
+	{
+		// Must stay last: it inspects which justification tokens the
+		// earlier checks actually consumed during this Run.
+		ID:         "stale-justification",
+		Suppress:   "keep",
+		Doc:        "//lint: justification tokens must match a live finding (mark intentional keepers with //lint:keep)",
+		RunProgram: checkStaleJustifications,
+	},
 }
 
 // Run executes the whole suite over the loaded packages and returns all
-// findings sorted by file position.
+// findings sorted by file position. File-local checks run first, then the
+// whole-program checks in registry order — stale-justification last, so it
+// observes every suppression the other checks consumed.
 func Run(pkgs []*Package) []Finding {
+	prog := NewProgram(pkgs)
 	var out []Finding
-	for _, p := range pkgs {
-		for _, c := range Checks {
+	for _, c := range Checks {
+		if c.Run == nil {
+			continue
+		}
+		for _, p := range pkgs {
 			out = append(out, c.Run(p)...)
+		}
+	}
+	for _, c := range Checks {
+		if c.RunProgram != nil {
+			out = append(out, c.RunProgram(prog)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -238,4 +288,25 @@ func isErrorType(t types.Type) bool {
 	}
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
 }

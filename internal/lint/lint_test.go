@@ -9,14 +9,20 @@ import (
 )
 
 // corpusExpectations collects the `// want <check-id>...` comments of the
-// loaded fixture packages as a multiset keyed file:line:id.
+// loaded fixture packages as a multiset keyed file:line:id. Block comments
+// (`/* want id */`) work too — needed when the flagged line already ends in
+// a //lint: directive, which would swallow a trailing line comment.
 func corpusExpectations(pkgs []*Package) map[string]int {
 	want := map[string]int{}
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					text := strings.TrimPrefix(c.Text, "//")
+					if strings.HasPrefix(c.Text, "/*") {
+						text = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+					}
+					text = strings.TrimSpace(text)
 					if !strings.HasPrefix(text, "want ") {
 						continue
 					}
@@ -117,13 +123,18 @@ func TestLoadRepo(t *testing.T) {
 // which DESIGN.md documents.
 func TestCheckRegistry(t *testing.T) {
 	want := map[string]string{
-		"det-mapiter":   "sorted",
-		"det-wallclock": "wallclock",
-		"tag-literal":   "tag",
-		"tag-dup":       "tag",
-		"go-hygiene":    "detached",
-		"err-drop":      "droperr",
-		"weight-cmp":    "weightcmp",
+		"det-mapiter":         "sorted",
+		"det-wallclock":       "wallclock",
+		"tag-literal":         "tag",
+		"tag-dup":             "tag",
+		"go-hygiene":          "detached",
+		"err-drop":            "droperr",
+		"weight-cmp":          "weightcmp",
+		"lock-order":          "lockorder",
+		"goroutine-leak":      "goleak",
+		"ctx-prop":            "noctx",
+		"collective-symmetry": "collective",
+		"stale-justification": "keep",
 	}
 	if len(Checks) != len(want) {
 		t.Fatalf("registry has %d checks, want %d", len(Checks), len(want))
@@ -137,7 +148,7 @@ func TestCheckRegistry(t *testing.T) {
 		if c.Suppress != tok {
 			t.Errorf("check %s suppression token = %s, want %s", c.ID, c.Suppress, tok)
 		}
-		if c.Doc == "" || c.Run == nil {
+		if c.Doc == "" || (c.Run == nil && c.RunProgram == nil) {
 			t.Errorf("check %s lacks doc or runner", c.ID)
 		}
 	}

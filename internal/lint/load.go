@@ -103,7 +103,24 @@ func Load(patterns []string) ([]*Package, error) {
 			})
 		}
 	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: %s matched no module packages", strings.Join(patterns, " "))
+	}
 	return pkgs, nil
+}
+
+// ModuleRoot returns the main module's directory — the base against which
+// baseline keys, SARIF URIs, and annotation paths are relativized so the
+// artifacts stay stable regardless of the invocation directory.
+func ModuleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v\n%s", err, stderr.String())
+	}
+	return strings.TrimSpace(string(out)), nil
 }
 
 // parseFiles parses the package's (non-test) Go files with comments.

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockOrderScope names the packages whose mutex acquisition graph must be
+// cycle-free: the delivery layer, the job service, and the chaos decorator
+// are the places where one goroutine takes a lock while another holds its
+// partner in the opposite order — the classic inverted-order deadlock the
+// chaos suite can only catch when a seed happens to interleave it.
+var lockOrderScope = map[string]bool{
+	"transport": true,
+	"serve":     true,
+	"chaos":     true,
+}
+
+// lockEdge is one "acquired to while holding from" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string // function where the acquisition happens
+}
+
+// lockFacts are the per-function facts the whole-program pass composes:
+// which mutexes the function acquires directly, which nested acquisitions
+// it performs while holding a lock, and which in-scope functions it calls
+// (with the set of locks held at the call site).
+type lockFacts struct {
+	name     string
+	acquires map[string]token.Pos
+	edges    []lockEdge
+	calls    []lockCall
+	callees  []*types.Func // every static in-scope callee, held or not
+}
+
+type lockCall struct {
+	held []string
+	fn   *types.Func
+	pos  token.Pos
+}
+
+// checkLockOrder builds the mutex acquisition graph across the lock-order
+// scope and reports every cycle: a pair (or ring) of mutexes acquired in
+// opposite orders on different paths can deadlock the moment two
+// goroutines interleave. Edges follow static calls through the whole
+// program, so a cycle split across transport and serve is still found.
+func checkLockOrder(prog *Program) []Finding {
+	facts := map[*types.Func]*lockFacts{}
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if !lockOrderScope[pathElem(p.ScopePath(f))] {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.objectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				facts[fn] = collectLockFacts(p, f, fd)
+			}
+		}
+	}
+
+	// Transitive closure: every mutex a function may acquire, directly or
+	// through calls, cycle-safe via the visiting set.
+	memo := map[*types.Func]map[string]token.Pos{}
+	var allAcquires func(fn *types.Func, visiting map[*types.Func]bool) map[string]token.Pos
+	allAcquires = func(fn *types.Func, visiting map[*types.Func]bool) map[string]token.Pos {
+		if m, ok := memo[fn]; ok {
+			return m
+		}
+		if visiting[fn] {
+			return nil
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		lf := facts[fn]
+		if lf == nil {
+			return nil
+		}
+		acc := map[string]token.Pos{}
+		for id, pos := range lf.acquires {
+			acc[id] = pos
+		}
+		for _, callee := range lf.callees {
+			for id, pos := range allAcquires(callee, visiting) {
+				if _, ok := acc[id]; !ok {
+					acc[id] = pos
+				}
+			}
+		}
+		memo[fn] = acc
+		return acc
+	}
+
+	// Edge set: direct nested acquisitions plus call-mediated ones.
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		key := [2]string{e.from, e.to}
+		if prev, ok := edges[key]; !ok || e.pos < prev.pos {
+			edges[key] = e
+		}
+	}
+	fns := make([]*types.Func, 0, len(facts))
+	for fn := range facts {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		lf := facts[fn]
+		for _, e := range lf.edges {
+			addEdge(e)
+		}
+		for _, c := range lf.calls {
+			for id := range allAcquires(c.fn, map[*types.Func]bool{}) {
+				for _, h := range c.held {
+					addEdge(lockEdge{from: h, to: id, pos: c.pos, fn: lf.name})
+				}
+			}
+		}
+	}
+
+	return reportLockCycles(prog, edges)
+}
+
+// reportLockCycles finds strongly connected components of the acquisition
+// graph and reports one finding per cycle, at the earliest edge in it.
+func reportLockCycles(prog *Program, edges map[[2]string]lockEdge) []Finding {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]], nodes[key[1]] = true, true
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	// Tarjan's SCC, iterative enough for lint-scale graphs via recursion.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range sorted {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+
+	var out []Finding
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		in := map[string]bool{}
+		for _, n := range scc {
+			in[n] = true
+		}
+		var cycleEdges []lockEdge
+		for key, e := range edges {
+			if in[key[0]] && in[key[1]] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+		sort.Slice(cycleEdges, func(i, j int) bool { return cycleEdges[i].pos < cycleEdges[j].pos })
+		first := cycleEdges[0]
+		var others []string
+		for _, e := range cycleEdges[1:] {
+			others = append(others, prog.Fset().Position(e.pos).String()+" ("+e.from+" -> "+e.to+" in "+e.fn+")")
+		}
+		if prog.suppressed(first.pos, "lockorder") {
+			continue
+		}
+		out = append(out, prog.finding("lock-order", first.pos,
+			"acquiring %s while holding %s completes a lock-order cycle over {%s}; opposite-order acquisition(s): %s — pick one global order or justify with //lint:lockorder <reason>",
+			first.to, first.from, strings.Join(scc, ", "), strings.Join(others, "; ")))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	return out
+}
+
+// collectLockFacts walks one function body in source order, tracking the
+// set of held mutexes. defer'd Unlocks keep their mutex held to the end of
+// the function (the common Lock/defer-Unlock idiom); branch-local Unlocks
+// pop optimistically — a linter-grade approximation of the real paths.
+func collectLockFacts(p *Package, f *ast.File, fd *ast.FuncDecl) *lockFacts {
+	lf := &lockFacts{
+		name:     fd.Name.Name,
+		acquires: map[string]token.Pos{},
+	}
+	var held []string
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.DeferStmt:
+			deferred[nn.Call] = true
+		case *ast.CallExpr:
+			if kind, id := p.mutexOp(f, nn); kind != "" && id != "" {
+				switch kind {
+				case "Lock", "RLock":
+					if deferred[nn] {
+						break
+					}
+					if _, ok := lf.acquires[id]; !ok {
+						lf.acquires[id] = nn.Pos()
+					}
+					for _, h := range held {
+						lf.edges = append(lf.edges, lockEdge{from: h, to: id, pos: nn.Pos(), fn: lf.name})
+					}
+					held = append(held, id)
+				case "Unlock", "RUnlock":
+					if deferred[nn] {
+						break // held until return
+					}
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == id {
+							held = append(held[:i:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				break
+			}
+			if fn, ok := p.calleeObject(nn).(*types.Func); ok && fn != nil {
+				lf.callees = append(lf.callees, fn)
+				if len(held) > 0 {
+					lf.calls = append(lf.calls, lockCall{
+						held: append([]string(nil), held...),
+						fn:   fn,
+						pos:  nn.Pos(),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return lf
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation and names
+// the mutex it acts on, or returns empty strings. The identity is
+// type-scoped — "transport.TCP.mu", "serve.Server.mu", a package-level
+// "chaos.journalMu" — so two instances of the same struct share a node:
+// lock ordering is a property of the code path, not the instance.
+func (p *Package) mutexOp(f *ast.File, call *ast.CallExpr) (kind, id string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	obj := p.calleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return sel.Sel.Name, p.mutexID(f, sel.X)
+}
+
+// mutexID names the mutex value e refers to. Locks on local variables are
+// anonymous (returned as ""): their ordering is invisible to other
+// functions, so they cannot participate in a cross-path cycle.
+func (p *Package) mutexID(f *ast.File, e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if p.isPackageQualifier(v.X) {
+			if obj := p.objectOf(v.Sel); obj != nil && obj.Pkg() != nil {
+				return pathElem(obj.Pkg().Path()) + "." + v.Sel.Name
+			}
+			return ""
+		}
+		t := p.typeOf(v.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return pathElem(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + v.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		obj := p.objectOf(v)
+		vr, ok := obj.(*types.Var)
+		if !ok || vr.Pkg() == nil {
+			return ""
+		}
+		// Package-level mutex var; receivers and locals stay anonymous
+		// unless reached through a field selector above.
+		if vr.Parent() == vr.Pkg().Scope() {
+			return pathElem(vr.Pkg().Path()) + "." + vr.Name()
+		}
+		// Embedded sync.Mutex promoted through a named receiver: the
+		// struct itself is the mutex.
+		if t := p.typeOf(v); t != nil {
+			tt := t
+			if ptr, ok := tt.(*types.Pointer); ok {
+				tt = ptr.Elem()
+			}
+			if named, ok := tt.(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				return pathElem(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+			}
+		}
+		return ""
+	}
+	return ""
+}

@@ -51,10 +51,12 @@ func checkMapIter(p *Package) []Finding {
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if p.suppressed(f, rng.Pos(), "sorted") ||
-				deleteOnlyBody(p, rng) ||
+			if deleteOnlyBody(p, rng) ||
 				mapCopyBody(p, rng) ||
 				sortsAfter(p, stack, rng) {
+				return true
+			}
+			if p.suppressed(f, rng.Pos(), "sorted") {
 				return true
 			}
 			out = append(out, p.finding("det-mapiter", rng,

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// badCorpus loads ./testdata/src/bad once per test binary.
+func badCorpus(t *testing.T) []Finding {
+	t.Helper()
+	pkgs, err := Load([]string{"./testdata/src/bad"})
+	if err != nil {
+		t.Fatalf("load bad corpus: %v", err)
+	}
+	return Run(pkgs)
+}
+
+// TestSARIF checks the report is valid SARIF 2.1.0 with one rule per
+// registered check and one result per finding, using repo-relative
+// forward-slash URIs.
+func TestSARIF(t *testing.T) {
+	findings := badCorpus(t)
+	base, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := SARIF(findings, base)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mndmst-lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, c := range Checks {
+		if !ruleIDs[c.ID] {
+			t.Errorf("rule %s missing from driver rules", c.ID)
+		}
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(findings))
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("result level = %q, want error", r.Level)
+		}
+		uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if strings.Contains(uri, "\\") || strings.HasPrefix(uri, "/") {
+			t.Errorf("URI %q is not a relative forward-slash path", uri)
+		}
+		if !strings.HasPrefix(uri, "internal/lint/testdata/") {
+			t.Errorf("URI %q is not repo-relative", uri)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result for %s has no start line", r.RuleID)
+		}
+	}
+}
+
+// TestBaselineRoundTrip: a baseline written from the current findings
+// absorbs exactly those findings on reload, and dropping one entry lets
+// its finding through again.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := badCorpus(t)
+	if len(findings) == 0 {
+		t.Fatal("bad corpus produced no findings")
+	}
+	base, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, findings, base); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	bl, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	fresh, absorbed := FilterBaseline(findings, bl, base)
+	if len(fresh) != 0 || absorbed != len(findings) {
+		t.Fatalf("full baseline: fresh=%d absorbed=%d, want 0 and %d", len(fresh), absorbed, len(findings))
+	}
+
+	// Dropping an entry must surface exactly its findings again.
+	dropped := bl.Entries[0].Count
+	bl.Entries = bl.Entries[1:]
+	fresh, _ = FilterBaseline(findings, bl, base)
+	if len(fresh) != dropped {
+		t.Fatalf("after dropping an entry of count %d: fresh=%d", dropped, len(fresh))
+	}
+}
+
+// TestBaselineMissingFile: a typo'd baseline path must fail loudly, not
+// silently accept the whole tree.
+func TestBaselineMissingFile(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("want error for missing baseline file")
+	}
+}
+
+// applyToCopy copies the finding's file into a temp dir, retargets its
+// edits, applies them, and returns the fixed source.
+func applyToCopy(t *testing.T, f Finding) string {
+	t.Helper()
+	src, err := os.ReadFile(f.Pos.Filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), filepath.Base(f.Pos.Filename))
+	if err := os.WriteFile(tmp, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Fix {
+		f.Fix[i].Filename = tmp
+	}
+	applied, files, err := ApplyFixes([]Finding{f})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if applied == 0 || len(files) != 1 {
+		t.Fatalf("applied=%d files=%v", applied, files)
+	}
+	out, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestApplyFixes exercises the two autofixes the suite ships: removing a
+// stale justification (deletion widened over its empty line) and adding a
+// ctx.Done() arm to a blocking select.
+func TestApplyFixes(t *testing.T) {
+	findings := badCorpus(t)
+
+	var stale, sel *Finding
+	for i, f := range findings {
+		if len(f.Fix) == 0 {
+			continue
+		}
+		switch {
+		case f.ID == "stale-justification" && stale == nil:
+			stale = &findings[i]
+		case f.ID == "ctx-prop" && sel == nil:
+			sel = &findings[i]
+		}
+	}
+	if stale == nil {
+		t.Fatal("no stale-justification finding carries a fix")
+	}
+	if sel == nil {
+		t.Fatal("no ctx-prop select finding carries a fix")
+	}
+
+	fixed := applyToCopy(t, *stale)
+	if strings.Contains(fixed, "lint:droperr") {
+		t.Error("stale justification still present after fix")
+	}
+
+	fixed = applyToCopy(t, *sel)
+	if !strings.Contains(fixed, "case <-ctx.Done():") {
+		t.Error("select fix did not insert a ctx.Done() arm")
+	}
+	if !strings.Contains(fixed, "return ctx.Err()") {
+		t.Error("select fix in an error-returning function must return ctx.Err()")
+	}
+}
+
+// TestApplyFixesOverlap: overlapping edits on one file are rejected whole.
+func TestApplyFixesOverlap(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(tmp, []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := Finding{Fix: []TextEdit{
+		{Filename: tmp, Start: 0, End: 7, New: "package"},
+		{Filename: tmp, Start: 5, End: 9, New: "y"},
+	}}
+	if _, _, err := ApplyFixes([]Finding{f}); err == nil {
+		t.Fatal("want overlap error")
+	}
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Program is the whole loaded module seen at once: the unit the
+// cross-package checks (lock-order, goroutine-leak, ctx-prop,
+// collective-symmetry, stale-justification) analyze. It indexes every
+// function body by its types.Func object, so an analyzer holding a callee
+// object resolved in one package can walk the callee's AST from another —
+// the "cross-package facts" the file-local checks cannot see.
+type Program struct {
+	Pkgs []*Package
+
+	// funcs maps each declared function or method (with a body) to its
+	// declaration site. The loader type-checks the whole module against one
+	// shared importer, so a *types.Func resolved through Uses/Selections in
+	// any package is pointer-identical to the defining package's object.
+	funcs map[*types.Func]*FuncBody
+}
+
+// FuncBody is one function declaration and the package that owns it.
+type FuncBody struct {
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+}
+
+// NewProgram indexes the loaded packages for whole-program analysis.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, funcs: map[*types.Func]*FuncBody{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.objectOf(fd.Name).(*types.Func); ok && fn != nil {
+					prog.funcs[fn] = &FuncBody{Pkg: p, File: f, Decl: fd}
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// Fset returns the shared FileSet of the load.
+func (prog *Program) Fset() *token.FileSet {
+	if len(prog.Pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return prog.Pkgs[0].Fset
+}
+
+// Body resolves the declaration of fn, or nil when fn has no body in the
+// loaded set (stdlib, interface method, function-typed value).
+func (prog *Program) Body(fn *types.Func) *FuncBody {
+	return prog.funcs[fn]
+}
+
+// FileOf locates the package and file containing pos.
+func (prog *Program) FileOf(pos token.Pos) (*Package, *ast.File) {
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if f.FileStart <= pos && pos <= f.FileEnd {
+				return p, f
+			}
+		}
+	}
+	return nil, nil
+}
+
+// suppressed reports (and records) whether a finding at pos is justified
+// by a //lint:<tok> comment, resolving the owning file first.
+func (prog *Program) suppressed(pos token.Pos, tok string) bool {
+	p, f := prog.FileOf(pos)
+	if p == nil {
+		return false
+	}
+	return p.suppressed(f, pos, tok)
+}
+
+// finding builds a Finding at pos using the shared FileSet.
+func (prog *Program) finding(id string, pos token.Pos, format string, args ...interface{}) Finding {
+	return Finding{Pos: prog.Fset().Position(pos), ID: id, Msg: fmt.Sprintf(format, args...)}
+}

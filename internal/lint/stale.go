@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"sort"
+)
+
+// checkStaleJustifications reports //lint:<token> comments that no check
+// consumed during this Run: the finding they once justified is gone, so
+// the comment now only misleads — and worse, it would silently swallow a
+// future, different finding on the same line. It must run after every
+// other check (the registry keeps it last). `//lint:path` overrides and
+// `//lint:keep` markers are exempt; a keep comment on the same line or
+// the line above retains a deliberately pre-placed justification. Each
+// finding carries a removal autofix for `mndmst-lint -fix`.
+func checkStaleJustifications(prog *Program) []Finding {
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			d := p.fileDirectives(f)
+			lines := make([]int, 0, len(d.tokens))
+			for line := range d.tokens {
+				lines = append(lines, line)
+			}
+			sort.Ints(lines)
+			for _, line := range lines {
+				for _, dir := range d.tokens[line] {
+					if dir.used || dir.tok == "keep" {
+						continue
+					}
+					if p.suppressed(f, dir.c.Pos(), "keep") {
+						continue
+					}
+					fnd := p.finding("stale-justification", dir.c,
+						"justification //lint:%s has no matching finding; remove it (mndmst-lint -fix) or retain deliberately with //lint:keep <reason>", dir.tok)
+					fnd.Fix = []TextEdit{{
+						Filename: p.Fset.Position(dir.c.Pos()).Filename,
+						Start:    p.Fset.Position(dir.c.Pos()).Offset,
+						End:      p.Fset.Position(dir.c.End()).Offset,
+						New:      "",
+					}}
+					out = append(out, fnd)
+				}
+			}
+		}
+	}
+	return out
+}

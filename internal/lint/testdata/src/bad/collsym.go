@@ -1,0 +1,31 @@
+//lint:path mndmst/internal/merge
+
+package bad
+
+// Collective-symmetry fixtures: a tag sent but never received, a tag
+// received but never sent, and one tag whose two send sites encode
+// different element types.
+const (
+	tagOrphanSend int32 = 40 // want collective-symmetry
+	tagOrphanRecv int32 = 41 // want collective-symmetry
+	tagPaired     int32 = 42
+	tagTwoCodecs  int32 = 43
+)
+
+func sendChunk(dst int, tag int32, payload []byte) {}
+
+func recvChunk(src int, tag int32) []byte { return nil }
+
+func encodeEdges(v []int32) []byte { return nil }
+
+func encodeWeights(v []float64) []byte { return nil }
+
+func runProtocol() {
+	sendChunk(1, tagOrphanSend, nil)
+	_ = recvChunk(1, tagOrphanRecv)
+	sendChunk(1, tagPaired, encodeEdges(nil))
+	_ = recvChunk(1, tagPaired)
+	sendChunk(1, tagTwoCodecs, encodeEdges(nil))
+	sendChunk(2, tagTwoCodecs, encodeWeights(nil)) // want collective-symmetry
+	_ = recvChunk(2, tagTwoCodecs)
+}

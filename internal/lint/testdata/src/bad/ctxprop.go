@@ -1,0 +1,33 @@
+package bad
+
+import (
+	"context"
+	"time"
+
+	"mndmst/internal/lint/testdata/src/transport"
+)
+
+const tagCtx int32 = 20
+
+// waitTwice receives a context but blocks without ever observing it:
+// a sleep, a Done-less select, and a blocking transport call.
+func waitTwice(ctx context.Context, c *transport.Conn, ch chan int) error {
+	time.Sleep(10 * time.Millisecond) // want ctx-prop
+	select {                          // want ctx-prop
+	case v := <-ch:
+		_ = v
+	}
+	c.Send(1, tagCtx, nil) // want ctx-prop
+	return nil
+}
+
+// closureCtx: the closure inherits the captured context's obligation.
+func closureCtx(ctx context.Context, ch chan int) {
+	wait := func() {
+		select { // want ctx-prop
+		case <-ch:
+		}
+	}
+	wait()
+	_ = ctx
+}

@@ -3,5 +3,5 @@ package bad
 // spawnLeak starts a goroutine its spawner never joins: no WaitGroup Wait,
 // no channel receive, no select.
 func spawnLeak(work func()) {
-	go work() // want go-hygiene
+	go work() // want go-hygiene goroutine-leak
 }

@@ -1,0 +1,30 @@
+package bad
+
+// runForever loops with no termination path at all: no context, no
+// done-channel, no WaitGroup. The spawner joining the START of the work
+// (the ready channel) satisfies go-hygiene but not goroutine-leak — the
+// goroutine still lives forever after the join.
+func runForever(work func(), ready chan struct{}) {
+	go func() { // want goroutine-leak
+		close(ready)
+		for {
+			work()
+		}
+	}()
+	<-ready
+}
+
+// spinNamed leaks through a named function: the launch site looks
+// innocent, the loop lives in the callee.
+func spinNamed(ready chan struct{}) {
+	go spin() // want goroutine-leak
+	<-ready
+}
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+func step() {}

@@ -1,0 +1,30 @@
+//lint:path mndmst/internal/transport
+
+package bad
+
+import "sync"
+
+// Two mutexes acquired in opposite orders on different paths: the classic
+// inverted-order deadlock the whole-program lock-order check must catch,
+// including when one side of the inversion hides behind a call.
+type peerA struct{ mu sync.Mutex }
+
+type peerB struct{ mu sync.Mutex }
+
+func lockAThenB(a *peerA, b *peerB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lock-order
+	b.mu.Unlock()
+}
+
+func lockBThenA(a *peerA, b *peerB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockOnlyA(a) // the inversion is call-mediated on this side
+}
+
+func lockOnlyA(a *peerA) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+package bad
+
+// A justification whose finding no longer exists: nothing on the next
+// line drops an error, so the token suppresses nothing and must go.
+func tidy() { /* want stale-justification */ //lint:droperr stale fixture token with no matching finding
+	clean()
+}
+
+func clean() {}

@@ -1,0 +1,33 @@
+//lint:path mndmst/internal/merge
+
+package good
+
+// Symmetric tag protocols: every tag has both a send and a receive side,
+// and every send of one tag uses one encoder.
+const (
+	tagRows  int32 = 50
+	tagCols  int32 = 51
+	tagMixed int32 = 52
+)
+
+func sendBlock(dst int, tag int32, payload []byte) {}
+
+func recvBlock(src int, tag int32) []byte { return nil }
+
+// exchangeBlock both sends and receives under one tag.
+func exchangeBlock(peer int, tag int32, payload []byte) []byte { return nil }
+
+func packRows(v []int32) []byte { return nil }
+
+func runSymmetric() {
+	sendBlock(1, tagRows, packRows(nil))
+	_ = recvBlock(1, tagRows)
+
+	// Two send sites, one encoder: consistent.
+	sendBlock(1, tagCols, packRows(nil))
+	sendBlock(2, tagCols, packRows(nil))
+	_ = recvBlock(1, tagCols)
+
+	// Exchange-style helpers count as both directions.
+	_ = exchangeBlock(3, tagMixed, nil)
+}

@@ -1,0 +1,49 @@
+package good
+
+import (
+	"context"
+	"time"
+
+	"mndmst/internal/lint/testdata/src/transport"
+)
+
+// Context-aware blocking done right: every wait observes ctx, either
+// through a Done() arm, a default arm, or by passing ctx to the callee.
+
+func waitObserved(ctx context.Context, ch chan int) error {
+	select {
+	case v := <-ch:
+		_ = v
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+func pollNonBlocking(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func syncRanks(ctx context.Context, c *transport.Conn) {
+	c.Barrier(ctx)
+}
+
+// A justified wait: the handshake below is bounded by the peer's own
+// deadline, so the missing Done() arm is deliberate and documented.
+func handshake(ctx context.Context, ch chan int) {
+	//lint:noctx peer enforces the deadline; local cancellation would desync the pair
+	select {
+	case <-ch:
+	}
+}
+
+// No context parameter: sleeping and bare selects are out of scope here.
+func backoff(ch chan int) {
+	time.Sleep(time.Millisecond)
+	select {
+	case <-ch:
+	}
+}

@@ -1,0 +1,69 @@
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+// Each goroutine here loops forever in shape but carries a visible
+// termination path — a context, a quit channel, or WaitGroup bookkeeping —
+// and every spawner joins it, keeping go-hygiene satisfied too.
+
+func loopWithContext(ctx context.Context, work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	<-done
+}
+
+func loopWithQuit(work func()) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+func loopWithWaitGroup(work func(), n int) {
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				work()
+			}
+		}()
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// An unresolvable body (function value) is accepted when the launch site
+// visibly bounds it — here the context argument is the termination handle.
+func launchBounded(ctx context.Context, f func(context.Context), done chan struct{}) {
+	go f(ctx)
+	<-done
+}

@@ -1,0 +1,38 @@
+//lint:path mndmst/internal/transport
+
+package good
+
+import "sync"
+
+// A consistent global order — inner after outer on every path — builds an
+// acyclic acquisition graph: no findings.
+type outer struct{ mu sync.Mutex }
+
+type inner struct{ mu sync.Mutex }
+
+func lockBoth(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	i.mu.Lock()
+	i.mu.Unlock()
+}
+
+func lockViaCall(o *outer, i *inner) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	lockInner(i)
+}
+
+func lockInner(i *inner) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// Re-acquiring the same type-scoped mutex on another instance is not a
+// cycle: ordering is per code path, and self-edges are ignored.
+func handoff(a, b *inner) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -4,9 +4,26 @@
 // name, so this package must keep both.
 package transport
 
+import "context"
+
 // Message mirrors the real transport.Message shape.
 type Message struct {
 	Tag     int32
 	Arrival float64
 	Data    []byte
 }
+
+// Conn mirrors the blocking rank-to-rank surface: the ctx-prop fixtures
+// call these from context-aware functions. The check recognizes blocking
+// methods by name on types from a "transport"/"cluster" package-path
+// element, so this stand-in must keep both.
+type Conn struct{}
+
+// Send blocks until dst accepts the payload.
+func (c *Conn) Send(dst int, tag int32, data []byte) {}
+
+// Recv blocks until a message from src arrives.
+func (c *Conn) Recv(src int, tag int32) []byte { return nil }
+
+// Barrier blocks until every rank arrives; the context bounds the wait.
+func (c *Conn) Barrier(ctx context.Context) {}

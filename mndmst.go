@@ -618,7 +618,6 @@ func runCtx[T any](ctx context.Context, f func() (T, error)) (T, error) {
 		err error
 	}
 	ch := make(chan outcome, 1)
-	//lint:detached intentionally abandoned on cancellation; the buffered channel guarantees it never blocks
 	go func() {
 		v, err := f()
 		ch <- outcome{v, err}

@@ -64,11 +64,29 @@ fi
 echo "== build =="
 go build ./...
 
-echo "== mndmst-lint (project invariants) =="
-go run ./cmd/mndmst-lint ./...
-echo "== mndmst-lint (self-test: bad corpus must fail) =="
-if go run ./cmd/mndmst-lint -q ./internal/lint/testdata/src/bad >/dev/null 2>&1; then
-    echo "mndmst-lint accepted the known-bad corpus" >&2
+echo "== mndmst-lint (project invariants, baseline-gated) =="
+# Exit 1 means new findings (fix, justify, or baseline them); exit 2 means
+# the analysis itself failed to run — report them differently so a broken
+# loader is never mistaken for a dirty tree.
+set +e
+go run ./cmd/mndmst-lint -baseline lint.baseline.json ./...
+lint_status=$?
+set -e
+case $lint_status in
+    0) ;;
+    1) echo "mndmst-lint: new findings above — fix them, justify with //lint:<token>, or baseline with -update-baseline" >&2
+       exit 1 ;;
+    *) echo "mndmst-lint: analysis failed to run (exit $lint_status)" >&2
+       exit 1 ;;
+esac
+
+echo "== mndmst-lint (self-test: bad corpus must exit 1) =="
+set +e
+go run ./cmd/mndmst-lint -q ./internal/lint/testdata/src/bad >/dev/null 2>&1
+corpus_status=$?
+set -e
+if [ "$corpus_status" -ne 1 ]; then
+    echo "mndmst-lint: known-bad corpus exited $corpus_status, want 1 (findings)" >&2
     exit 1
 fi
 

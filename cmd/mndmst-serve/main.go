@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -34,6 +35,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mndmst-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// buildHandler wraps the server's API (which already includes /metrics)
+// with the optional pprof endpoints. pprof is opt-in: it exposes stack
+// traces and heap contents, which not every deployment wants reachable.
+func buildHandler(s *serve.Server, pprofOn bool) http.Handler {
+	if !pprofOn {
+		return s.Handler()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", s.Handler())
+	return mux
 }
 
 func run(args []string, out io.Writer) error {
@@ -49,6 +67,7 @@ func run(args []string, out io.Writer) error {
 		maxTO        = fs.Duration("max-timeout", 0, "cap on client-requested deadlines (0 = no cap)")
 		graphDir     = fs.String("graph-dir", "", "directory file-based graph specs resolve under (\"\" disables them)")
 		drainTO      = fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		pprofOn      = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	httpSrv := &http.Server{Handler: buildHandler(s, *pprofOn)}
 
 	drainc := make(chan struct{})
 	stop := serve.OnSignals(

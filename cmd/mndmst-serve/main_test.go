@@ -1,14 +1,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"regexp"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"mndmst/internal/obs"
+	"mndmst/internal/serve"
 )
 
 // lineWatcher is an io.Writer that hands each complete output line to a
@@ -162,5 +168,50 @@ func TestServeListenConflict(t *testing.T) {
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("first instance did not drain")
+	}
+}
+
+// TestBuildHandlerMetricsAndPprof: /metrics always serves; the pprof
+// endpoints exist exactly when -pprof is set.
+func TestBuildHandlerMetricsAndPprof(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+
+	for _, tc := range []struct {
+		pprofOn   bool
+		wantPprof int
+	}{
+		{pprofOn: false, wantPprof: http.StatusNotFound},
+		{pprofOn: true, wantPprof: http.StatusOK},
+	} {
+		ts := httptest.NewServer(buildHandler(s, tc.pprofOn))
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, perr := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || perr != nil {
+			t.Fatalf("pprof=%v: GET /metrics: %d, parse %v", tc.pprofOn, resp.StatusCode, perr)
+		}
+		if _, ok := samples["mndmst_serve_jobs_submitted_total"]; !ok {
+			t.Fatalf("pprof=%v: exposition lacks server counters: %v", tc.pprofOn, samples)
+		}
+		resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //lint:droperr draining a test response body
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantPprof {
+			t.Fatalf("pprof=%v: GET /debug/pprof/cmdline: %d, want %d", tc.pprofOn, resp.StatusCode, tc.wantPprof)
+		}
+		ts.Close()
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"os/exec"
 
 	"mndmst"
+	"mndmst/internal/obs"
 	"mndmst/internal/serve"
 )
 
@@ -67,6 +68,7 @@ func run(args []string, out io.Writer) error {
 		rankProf = fs.Bool("rankprofile", false, "print the per-rank profile")
 		launch   = fs.String("launch", "", "run as real OS processes: local:N forks N loopback TCP workers")
 		jsonOut  = fs.Bool("json", false, "emit the machine-readable result record (the schema mndmst-serve returns) instead of text")
+		metrics  = fs.Bool("metrics-dump", false, "print the run's metrics registry (Prometheus text) to stderr after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,7 +93,9 @@ func run(args []string, out io.Writer) error {
 		// (minus -launch); the coordinator address travels via environment.
 		var childArgs []string
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "launch" {
+			// -metrics-dump stays in the parent too: workers writing
+			// Prometheus text into the relayed output would garble it.
+			if f.Name == "launch" || f.Name == "metrics-dump" {
 				return
 			}
 			childArgs = append(childArgs, "-"+f.Name+"="+f.Value.String())
@@ -159,6 +163,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *metrics && res.Trace != nil {
+		reg := obs.NewRegistry()
+		res.Trace.Publish(reg)
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			return fmt.Errorf("metrics dump: %w", err)
+		}
 	}
 	if worker && !res.Root {
 		return nil // non-root workers compute silently

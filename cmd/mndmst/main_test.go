@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mndmst/internal/obs"
 )
 
 // TestMain lets the test binary double as a -launch worker: launchLocal
@@ -253,5 +255,49 @@ func TestRunApps(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-app", "magic"}, &out); err == nil {
 		t.Fatal("unknown app accepted")
+	}
+}
+
+// TestRunMetricsDump: -metrics-dump writes a parseable Prometheus
+// exposition of the run's trace to stderr, with the rank count and phase
+// gauges intact. Stderr is swapped for a pipe around the run so the dump
+// can be captured without touching the normal stdout report.
+func TestRunMetricsDump(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	var out strings.Builder
+	runErr := run([]string{"-profile", "road_usa", "-scale", "0.02", "-nodes", "2", "-metrics-dump"}, &out)
+	os.Stderr = oldStderr
+	w.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	samples, perr := obs.ParseText(r)
+	r.Close()
+	if perr != nil {
+		t.Fatalf("dump does not parse: %v", perr)
+	}
+	if got := samples["mndmst_run_ranks"]; got != 2 {
+		t.Fatalf("mndmst_run_ranks = %g, want 2 (-nodes 2)", got)
+	}
+	if samples["mndmst_run_sim_seconds"] <= 0 {
+		t.Fatalf("mndmst_run_sim_seconds missing or zero: %v", samples)
+	}
+	found := false
+	for k := range samples {
+		if strings.HasPrefix(k, "mndmst_run_phase_compute_seconds{phase=") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no per-phase gauges in dump: %v", samples)
+	}
+	if !strings.Contains(out.String(), "forest:") {
+		t.Fatalf("normal report missing from stdout:\n%s", out.String())
 	}
 }

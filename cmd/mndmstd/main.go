@@ -24,11 +24,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"mndmst"
+	"mndmst/internal/obs"
 	"mndmst/internal/serve"
+	"mndmst/internal/trace"
 )
 
 func main() {
@@ -36,6 +41,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mndmstd:", err)
 		os.Exit(1)
 	}
+}
+
+// startMetricsServer serves GET /metrics (and, opted in, pprof) for reg
+// on addr. It returns the resolved address and a stop function that
+// closes the listener and joins the serving goroutine.
+func startMetricsServer(reg *obs.Registry, addr string, pprofOn bool) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ErrServerClosed is the normal Close outcome; anything else means
+		// the scrape endpoint died early, which must not fail the run.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "mndmstd: metrics server:", err)
+		}
+	}()
+	stop := func() {
+		srv.Close() //lint:droperr listener teardown on exit; the run's outcome is already decided
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,17 +111,30 @@ func run(args []string, out io.Writer) error {
 		chaosDelayMx = fs.Duration("chaos-delay-max", 0, "upper bound of one injected delay (default 2ms)")
 		chaosRecvTO  = fs.Duration("chaos-recv-timeout", 0, "receive deadline under chaos (default 30s)")
 		chaosCrash   = fs.Uint64("chaos-crash-step", 0, "crash-stop this worker at its Nth transport operation (0 = never)")
+
+		metricsListen = fs.String("metrics-listen", "", "serve GET /metrics on this address while the run is in flight (\"\" disables)")
+		pprofOn       = fs.Bool("pprof", false, "also expose net/http/pprof under /debug/pprof/ on -metrics-listen")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := obs.NewRegistry()
 	cfg := mndmst.ClusterConfig{
 		Coordinator:       *coordinator,
 		Listen:            *listen,
 		DialTimeout:       *dialTO,
 		HeartbeatInterval: *heartbeat,
 		PeerTimeout:       *peerTO,
+		Metrics:           reg,
+	}
+	if *metricsListen != "" {
+		addr, stopMetrics, err := startMetricsServer(reg, *metricsListen, *pprofOn)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", addr)
 	}
 	var coord *mndmst.Coordinator
 	if *lead {
@@ -169,6 +221,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	trace.PublishRank(reg, res.Rank)
+	res.Trace.Publish(reg)
 	if coord != nil {
 		if err := coord.Wait(); err != nil {
 			return fmt.Errorf("rendezvous: %w", err)

@@ -2,10 +2,13 @@ package main
 
 import (
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"mndmst/internal/obs"
 )
 
 // freeLoopbackAddr reserves an ephemeral port and releases it for the
@@ -95,6 +98,75 @@ func TestRunFlagErrors(t *testing.T) {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {
 			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestStartMetricsServer: the scrape endpoint serves the registry, pprof
+// appears only when opted in, and stop() joins the serving goroutine.
+func TestStartMetricsServer(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("test_total", "probe").Inc()
+
+	addr, stop, err := startMetricsServer(reg, "127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, perr := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || perr != nil {
+		t.Fatalf("GET /metrics: %d, parse %v", resp.StatusCode, perr)
+	}
+	if samples["test_total"] != 1 {
+		t.Fatalf("registry not served: %v", samples)
+	}
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without -pprof: %d", resp.StatusCode)
+	}
+	stop()
+
+	addr, stop, err = startMetricsServer(reg, "127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err = http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline with -pprof: %d", resp.StatusCode)
+	}
+}
+
+// TestLeadSingleRankMetricsListen: a full single-rank run with
+// -metrics-listen announces the scrape endpoint and still completes
+// normally. The endpoint's content is covered by TestStartMetricsServer
+// and the trace publish tests; the listener is torn down by run()'s
+// deferred stop, so only the announcement is observable from out here.
+func TestLeadSingleRankMetricsListen(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-lead", "-ranks", "1",
+		"-profile", "road_usa", "-scale", "0.02",
+		"-metrics-listen", "127.0.0.1:0",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"metrics on http://", "forest:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
 		}
 	}
 }

@@ -42,6 +42,7 @@ package chaos
 import (
 	"time"
 
+	"mndmst/internal/obs"
 	"mndmst/internal/transport"
 )
 
@@ -161,6 +162,11 @@ type Config struct {
 
 	// Crashes crash-stop ranks at scripted steps.
 	Crashes []Crash
+
+	// Metrics, when non-nil, counts every injected fault by kind
+	// (mndmst_chaos_faults_total). Observation only: the fault schedule
+	// and the journal are byte-identical with or without a registry.
+	Metrics *obs.Registry
 }
 
 // defaultDelayMax bounds an injected delay when Config.DelayMax is unset.

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"mndmst/internal/obs"
 )
 
 // Event records one injected fault: message seq of link Src→Dst was
@@ -23,7 +25,8 @@ func (e Event) String() string {
 // group is the state shared by every endpoint Wrap decorates: the config,
 // the fault journal, and the abort latch.
 type group struct {
-	cfg Config
+	cfg    Config
+	faults *obs.CounterVec // nil (no-op) without Config.Metrics
 
 	mu     sync.Mutex
 	events []Event
@@ -34,11 +37,18 @@ type group struct {
 }
 
 func newGroup(cfg Config) *group {
-	return &group{cfg: cfg, abortCh: make(chan struct{})}
+	return &group{
+		cfg: cfg,
+		faults: cfg.Metrics.CounterVec("mndmst_chaos_faults_total",
+			"injected faults recorded in the chaos journal, by fault kind", "kind"),
+		abortCh: make(chan struct{}),
+	}
 }
 
-// record appends one fault event to the journal.
+// record appends one fault event to the journal (and counts it by kind
+// when a metrics registry is configured).
 func (g *group) record(e Event) {
+	g.faults.With(string(e.Fault)).Inc()
 	g.mu.Lock()
 	g.events = append(g.events, e)
 	g.mu.Unlock()

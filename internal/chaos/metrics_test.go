@@ -1,0 +1,108 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mndmst/internal/chaos"
+	"mndmst/internal/obs"
+)
+
+// TestFaultCountersByKind: every injected fault increments the
+// mndmst_chaos_faults_total series for its kind, and the counts agree
+// with the journal exactly.
+func TestFaultCountersByKind(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := chaos.Config{
+		Seed:        7,
+		RecvTimeout: 5 * time.Second,
+		Faults: []chaos.ScriptedFault{
+			{Src: 0, Dst: 1, Seq: 0, Fault: chaos.FaultDup},
+			{Src: 0, Dst: 1, Seq: 1, Fault: chaos.FaultReorder},
+			{Src: 0, Dst: 1, Seq: 3, Fault: chaos.FaultDup},
+		},
+		Metrics: reg,
+	}
+	eps := wrapMem(2, cfg)
+	defer closeAll(eps)
+
+	const n = 5
+	for i := int32(0); i < n; i++ {
+		if err := eps[0].Send(1, msg(i, "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		got, err := eps[1].Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag != i {
+			t.Fatalf("message %d arrived out of order (tag %d)", i, got.Tag)
+		}
+	}
+
+	// The journal is ground truth; the counters must mirror it by kind.
+	wantByKind := map[string]float64{}
+	for _, e := range eps[0].Journal() {
+		wantByKind[string(e.Fault)]++
+	}
+	for _, e := range eps[0].Effects() {
+		wantByKind[string(e.Fault)]++
+	}
+	if wantByKind[string(chaos.FaultDup)] != 2 || wantByKind[string(chaos.FaultReorder)] != 1 {
+		t.Fatalf("unexpected journal shape: %v", wantByKind)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	for kind, want := range wantByKind {
+		key := `mndmst_chaos_faults_total{kind="` + kind + `"}`
+		if got[key] != want {
+			t.Errorf("%s = %g, journal says %g", key, got[key], want)
+		}
+	}
+}
+
+// TestMetricsDoNotPerturbSchedule: the journal of an instrumented run is
+// byte-identical to an uninstrumented one — observation only.
+func TestMetricsDoNotPerturbSchedule(t *testing.T) {
+	run := func(reg *obs.Registry) string {
+		cfg := chaos.Config{
+			Seed:        99,
+			DropProb:    0, // benign-only so the run completes
+			DupProb:     0.3,
+			ReorderProb: 0.3,
+			DelayProb:   0.2,
+			DelayMax:    100 * time.Microsecond,
+			RecvTimeout: 5 * time.Second,
+			Metrics:     reg,
+		}
+		eps := wrapMem(2, cfg)
+		defer closeAll(eps)
+		const n = 50
+		for i := int32(0); i < n; i++ {
+			if err := eps[0].Send(1, msg(i, "x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			if _, err := eps[1].Recv(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return chaos.FormatJournal(eps[0].Journal())
+	}
+	plain := run(nil)
+	instrumented := run(obs.NewRegistry())
+	if plain != instrumented {
+		t.Fatalf("metrics perturbed the fault schedule:\nplain:\n%s\ninstrumented:\n%s", plain, instrumented)
+	}
+}

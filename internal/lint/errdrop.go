@@ -8,10 +8,12 @@ import (
 // errDropScope reports whether a file with the given scope path is held to
 // the error-discipline rule: the delivery layers (transport, wire, cluster),
 // the job service (serve: a swallowed error turns a job into a silent hang
-// for its client), and every command under cmd/.
+// for its client), the metrics exposition layer (obs: a swallowed encode
+// error turns a scrape into silently truncated data), and every command
+// under cmd/.
 func errDropScope(path string) bool {
 	switch pathElem(path) {
-	case "transport", "wire", "cluster", "serve":
+	case "transport", "wire", "cluster", "serve", "obs":
 		return true
 	}
 	return pathHasParent(path, "cmd")

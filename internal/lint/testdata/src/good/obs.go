@@ -1,0 +1,36 @@
+package good
+
+//lint:path mndmst/internal/obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// miniMetrics is the obs-package exemplar: the metrics layer legitimately
+// reads the wall clock (latency observation is its whole purpose — exempt
+// by scope) while remaining subject to the err-drop rule: an encode error
+// on the exposition path is handled or justified, never silently dropped.
+type miniMetrics struct {
+	requests atomic.Int64
+	seconds  atomic.Int64 // micros, summed
+}
+
+func (m *miniMetrics) observe(start time.Time) {
+	m.requests.Add(1)
+	m.seconds.Add(time.Since(start).Microseconds()) // real latency: exempt scope
+}
+
+func (m *miniMetrics) encode(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "requests_total %d\n", m.requests.Load())
+	return err
+}
+
+func (m *miniMetrics) dump() {
+	if err := m.encode(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics dump:", err) // handled, not dropped
+	}
+}

@@ -14,6 +14,7 @@ var wallClockExempt = map[string]bool{
 	"gen":       true,
 	"chaos":     true,
 	"serve":     true,
+	"obs":       true, // metrics observe real latencies by definition
 }
 
 // wallClockFuncs are the time functions that leak the real clock into a

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with # HELP and
+// # TYPE lines, series sorted by label values, histograms expanded into
+// cumulative _bucket/_sum/_count lines. Values round-trip exactly
+// (strconv 'g' with full precision). A nil registry encodes to nothing.
+//
+// The output is staged in memory so a slow or dying scraper costs one
+// Write; its error is returned.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b bytes.Buffer
+	r.encode(&b)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ContentType is the HTTP Content-Type of WritePrometheus output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry at any GET path — the /metrics endpoint.
+// Delivery failures mean the scraper hung up; there is nobody left to
+// report them to, so they are dropped.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w) //lint:droperr scraper hung up mid-response; nobody left to tell
+	})
+}
+
+func (r *Registry) encode(b *bytes.Buffer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.encode(b)
+	}
+}
+
+func (f *family) encode(b *bytes.Buffer) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sers := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		sers = append(sers, f.series[k])
+	}
+	f.mu.Unlock()
+	if len(sers) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range sers {
+		switch f.kind {
+		case kindCounter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(s.c.Value(), 10))
+			b.WriteByte('\n')
+		case kindGauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, s.values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.g.Value()))
+			b.WriteByte('\n')
+		case kindHistogram:
+			s.h.encode(b, f.name, f.labels, s.values)
+		}
+	}
+}
+
+// encode expands one histogram series into its cumulative bucket lines.
+func (h *Histogram) encode(b *bytes.Buffer, name string, labels, values []string) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, labels, values, "le", bound)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	// The +Inf bucket equals the total count by construction.
+	b.WriteString(name)
+	b.WriteString(`_bucket`)
+	writeLabelsInf(b, labels, values)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(h.Count(), 10))
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "%s_sum", name)
+	writeLabels(b, labels, values, "", 0)
+	fmt.Fprintf(b, " %s\n", formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count", name)
+	writeLabels(b, labels, values, "", 0)
+	fmt.Fprintf(b, " %d\n", h.Count())
+}
+
+// writeLabels renders {k1="v1",...} (nothing when there are no labels and
+// no le bound). leLabel, when non-empty, appends le="<bound>".
+func writeLabels(b *bytes.Buffer, labels, values []string, leLabel string, bound float64) {
+	if len(labels) == 0 && leLabel == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(values[i]))
+		b.WriteByte('"')
+	}
+	if leLabel != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leLabel)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(bound))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// writeLabelsInf is writeLabels with le="+Inf" (which formatFloat cannot
+// produce in the canonical spelling).
+func writeLabelsInf(b *bytes.Buffer, labels, values []string) {
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(values[i]))
+		b.WriteByte('"')
+	}
+	if len(labels) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ParseText parses Prometheus text-format output back into a flat map
+// from sample key — exactly as rendered, name plus label block — to
+// value. It understands what WritePrometheus emits (comments, counters,
+// gauges, expanded histogram lines) and rejects lines that are neither.
+// Tests and smoke checks use it to compare a scrape against ground truth.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: line %d: no value separator: %q", lineNo, line)
+		}
+		key, valStr := line[:cut], line[cut+1:]
+		v, err := parseSampleValue(valStr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %w", lineNo, valStr, err)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	if s == "+Inf" || s == "-Inf" || s == "NaN" {
+		// Accept the canonical special spellings strconv also handles.
+		return strconv.ParseFloat(strings.TrimPrefix(s, "+"), 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

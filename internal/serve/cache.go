@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync"
 
+	"mndmst/internal/obs"
 	"mndmst/internal/trace"
 )
 
@@ -49,6 +50,10 @@ type resultCache struct {
 	flights map[string]*resultFlight
 
 	hits, misses, coalesced, evictions int64
+
+	// obs mirrors of the counters above, incremented at the same sites so
+	// /metrics and /v1/stats can never disagree. Nil handles no-op.
+	mHits, mMisses, mCoalesced, mEvictions *obs.Counter
 }
 
 // cacheKeyed pairs a cache entry with its key for LRU eviction.
@@ -57,12 +62,20 @@ type cacheKeyed struct {
 	ent *cacheEntry
 }
 
-func newResultCache(max int) *resultCache {
+func newResultCache(max int, reg *obs.Registry) *resultCache {
 	return &resultCache{
 		max:     max,
 		entries: make(map[string]*list.Element),
 		lru:     list.New(),
 		flights: make(map[string]*resultFlight),
+		mHits: reg.Counter("mndmst_serve_result_cache_hits_total",
+			"jobs answered from the result cache without waiting"),
+		mMisses: reg.Counter("mndmst_serve_result_cache_misses_total",
+			"computations that actually ran the algorithm (cache misses)"),
+		mCoalesced: reg.Counter("mndmst_serve_result_cache_coalesced_total",
+			"jobs that joined an identical in-flight computation"),
+		mEvictions: reg.Counter("mndmst_serve_result_cache_evictions_total",
+			"result-cache entries evicted by the LRU bound"),
 	}
 }
 
@@ -77,12 +90,14 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (*cache
 		if e, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(e)
 			c.hits++
+			c.mHits.Inc()
 			ent := e.Value.(*cacheKeyed).ent
 			c.mu.Unlock()
 			return ent, srcHit, nil
 		}
 		if fl, ok := c.flights[key]; ok {
 			c.coalesced++
+			c.mCoalesced.Inc()
 			c.mu.Unlock()
 			select {
 			case <-fl.done:
@@ -108,6 +123,7 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (*cache
 		delete(c.flights, key)
 		if err == nil {
 			c.misses++
+			c.mMisses.Inc()
 			e := c.lru.PushFront(&cacheKeyed{key: key, ent: ent})
 			c.entries[key] = e
 			for c.lru.Len() > c.max {
@@ -115,6 +131,7 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (*cache
 				c.lru.Remove(back)
 				delete(c.entries, back.Value.(*cacheKeyed).key)
 				c.evictions++
+				c.mEvictions.Inc()
 			}
 		}
 		c.mu.Unlock()

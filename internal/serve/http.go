@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"mndmst/internal/obs"
 )
 
 // maxBodyBytes bounds a job-submission body; requests are tiny.
@@ -24,12 +27,14 @@ type errorBody struct {
 //	                     503 draining.
 //	GET  /v1/jobs/{id}   job status; 404 unknown or evicted.
 //	GET  /v1/stats       server counters.
+//	GET  /metrics        Prometheus text exposition of Metrics().
 //	GET  /healthz        200 while serving, 503 while draining.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -64,7 +69,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var full *QueueFullError
 		switch {
 		case errors.As(err, &full):
-			w.Header().Set("Retry-After", "1")
+			// Hint derived from the observed dequeue rate and the current
+			// backlog, so a saturated slow server tells clients to stay
+			// away longer than a briefly-full fast one.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeError(w, http.StatusTooManyRequests, "queue_full", err)
 		case errors.Is(err, ErrDraining):
 			s.writeError(w, http.StatusServiceUnavailable, "draining", err)
@@ -100,6 +108,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		// Scraper hung up mid-response; nothing else to do.
+		s.logf("serve: deliver metrics: %v", err)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 
 	"mndmst"
 	"mndmst/internal/gen"
+	"mndmst/internal/obs"
 )
 
 // graphEntry is one decoded graph resident in the registry LRU.
@@ -40,6 +41,10 @@ type registry struct {
 	flights    map[string]*graphFlight
 
 	hits, loads, evictions int64
+
+	// obs mirrors, incremented at the same sites as the int64s so /metrics
+	// and /v1/stats can never disagree. Nil handles no-op.
+	mHits, mLoads, mEvictions *obs.Counter
 }
 
 // graphFlight coalesces concurrent loads of one spec.
@@ -49,7 +54,7 @@ type graphFlight struct {
 	err  error
 }
 
-func newRegistry(dir string, maxBytes int64) *registry {
+func newRegistry(dir string, maxBytes int64, reg *obs.Registry) *registry {
 	return &registry{
 		dir:        dir,
 		maxBytes:   maxBytes,
@@ -57,6 +62,12 @@ func newRegistry(dir string, maxBytes int64) *registry {
 		lru:        list.New(),
 		specDigest: make(map[string]string),
 		flights:    make(map[string]*graphFlight),
+		mHits: reg.Counter("mndmst_serve_graph_cache_hits_total",
+			"graph resolutions answered from the decoded-graph LRU"),
+		mLoads: reg.Counter("mndmst_serve_graph_cache_loads_total",
+			"graphs decoded and inserted into the LRU"),
+		mEvictions: reg.Counter("mndmst_serve_graph_cache_evictions_total",
+			"decoded graphs evicted by the byte bound"),
 	}
 }
 
@@ -82,6 +93,7 @@ func (r *registry) resolve(spec GraphSpec) (*mndmst.Graph, string, error) {
 	if d, ok := r.specDigest[key]; ok {
 		if ent := r.lookupLocked(d); ent != nil {
 			r.hits++
+			r.mHits.Inc()
 			r.mu.Unlock()
 			return ent.g, ent.digest, nil
 		}
@@ -102,6 +114,7 @@ func (r *registry) resolve(spec GraphSpec) (*mndmst.Graph, string, error) {
 		d := fl.g.Digest()
 		r.mu.Lock()
 		r.hits++
+		r.mHits.Inc()
 		if ent := r.lookupLocked(d); ent != nil {
 			r.mu.Unlock()
 			return ent.g, ent.digest, nil
@@ -120,6 +133,7 @@ func (r *registry) resolve(spec GraphSpec) (*mndmst.Graph, string, error) {
 		return nil, "", err
 	}
 	r.loads++
+	r.mLoads.Inc()
 	d := g.Digest()
 	r.specDigest[key] = d
 	if ent := r.lookupLocked(d); ent != nil {
@@ -139,6 +153,7 @@ func (r *registry) resolve(spec GraphSpec) (*mndmst.Graph, string, error) {
 		delete(r.byDigest, old.digest)
 		r.bytes -= old.bytes
 		r.evictions++
+		r.mEvictions.Inc()
 	}
 	r.mu.Unlock()
 	close(fl.done)

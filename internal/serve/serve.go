@@ -32,10 +32,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"mndmst"
+	"mndmst/internal/obs"
 	"mndmst/internal/trace"
 )
 
@@ -65,6 +67,11 @@ type Config struct {
 	// Logf, when non-nil, receives diagnostic messages (delivery failures
 	// on the HTTP path); nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics is the registry the server instruments (queue depth, job
+	// counters, cache traffic, job latency, last-run phase gauges). nil:
+	// the server creates a private registry. Either way Metrics() returns
+	// it and Handler serves it at GET /metrics.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -175,8 +182,11 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish moves the job to its terminal state exactly once.
-func (j *Job) finish(state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) {
+// finish moves the job to its terminal state exactly once. It reports
+// the execution duration and whether the job ever started running (false
+// for jobs canceled while still queued), so the caller can feed the
+// latency histogram without re-acquiring the job lock.
+func (j *Job) finish(state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) (ran time.Duration, started bool) {
 	j.mu.Lock()
 	j.state = state
 	j.record = rec
@@ -185,8 +195,13 @@ func (j *Job) finish(state JobState, rec *Record, traceRecs []trace.Record, hit,
 	j.coalesced = coalesced
 	j.err = err
 	j.finished = time.Now()
+	started = !j.started.IsZero()
+	if started {
+		ran = j.finished.Sub(j.started)
+	}
 	j.mu.Unlock()
 	close(j.done)
+	return ran, started
 }
 
 // Server is the MST job service: registry + queue + worker pool + result
@@ -195,6 +210,8 @@ type Server struct {
 	cfg      Config
 	registry *registry
 	results  *resultCache
+	metrics  *obs.Registry
+	m        serverMetrics
 
 	// execute runs one resolved computation; tests substitute it to make
 	// job duration controllable. Set only before the first Submit.
@@ -215,21 +232,70 @@ type Server struct {
 	jobsCanceled  int64
 	jobsRejected  int64
 
+	// dequeues is a bounded ring of recent worker-dequeue times — the
+	// observed service-rate sample Retry-After hints derive from.
+	dequeues    []time.Time
+	dequeueNext int // ring write index once the ring is full
+
 	wg      sync.WaitGroup
 	drained chan struct{} // closed once every worker has exited
+}
+
+// serverMetrics are the server's obs handles, resolved once in New so
+// the job path never touches the registry lock.
+type serverMetrics struct {
+	queueDepth     *obs.Gauge
+	queueHighwater *obs.Gauge
+	running        *obs.Gauge
+	submitted      *obs.Counter
+	jobs           *obs.CounterVec // terminal state: done | failed | canceled
+	rejects        *obs.CounterVec // reason: queue_full | draining
+	jobSeconds     *obs.HistogramVec
+
+	jobSecondsCold *obs.Histogram // cache="cold": the algorithm actually ran
+	jobSecondsHot  *obs.Histogram // cache="hot": answered from cache or coalesced
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	m := serverMetrics{
+		queueDepth: reg.Gauge("mndmst_serve_queue_depth",
+			"jobs admitted but not yet picked up by a worker"),
+		queueHighwater: reg.Gauge("mndmst_serve_queue_depth_highwater",
+			"peak queue depth observed since start"),
+		running: reg.Gauge("mndmst_serve_running",
+			"jobs currently executing"),
+		submitted: reg.Counter("mndmst_serve_jobs_submitted_total",
+			"jobs admitted past admission control"),
+		jobs: reg.CounterVec("mndmst_serve_jobs_total",
+			"jobs reaching a terminal state, by state", "state"),
+		rejects: reg.CounterVec("mndmst_serve_admission_rejects_total",
+			"submissions rejected by admission control, by reason", "reason"),
+		jobSeconds: reg.HistogramVec("mndmst_serve_job_seconds",
+			"job execution seconds (queue wait excluded), split by result temperature", nil, "cache"),
+	}
+	m.jobSecondsCold = m.jobSeconds.With("cold")
+	m.jobSecondsHot = m.jobSeconds.With("hot")
+	return m
 }
 
 // New starts a Server with cfg's worker pool running. The caller must
 // eventually call Shutdown to stop it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cfg:      cfg,
-		registry: newRegistry(cfg.GraphDir, cfg.GraphCacheBytes),
-		results:  newResultCache(cfg.ResultCacheEntries),
+		registry: newRegistry(cfg.GraphDir, cfg.GraphCacheBytes, reg),
+		results:  newResultCache(cfg.ResultCacheEntries, reg),
+		metrics:  reg,
+		m:        newServerMetrics(reg),
 		execute:  defaultExecute,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
+		dequeues: make([]time.Time, 0, dequeueRingSize),
 		drained:  make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -290,10 +356,12 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.jobsRejected++
+		s.m.rejects.With("draining").Inc()
 		return nil, ErrDraining
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.jobsRejected++
+		s.m.rejects.With("queue_full").Inc()
 		return nil, &QueueFullError{Depth: s.cfg.QueueDepth}
 	}
 	s.nextID++
@@ -319,6 +387,9 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.jobs[job.id] = job
 	s.queued++
 	s.jobsSubmitted++
+	s.m.submitted.Inc()
+	s.m.queueDepth.Set(float64(s.queued))
+	s.m.queueHighwater.SetMax(float64(s.queued))
 	// The send cannot block: queue capacity equals QueueDepth and queued
 	// never exceeds it, and close happens only under this same mutex.
 	s.queue <- job
@@ -341,10 +412,14 @@ func (s *Server) worker() {
 		s.mu.Lock()
 		s.queued--
 		s.running++
+		s.noteDequeue(time.Now())
+		s.m.queueDepth.Set(float64(s.queued))
+		s.m.running.Set(float64(s.running))
 		s.mu.Unlock()
 		s.runJob(job)
 		s.mu.Lock()
 		s.running--
+		s.m.running.Set(float64(s.running))
 		s.mu.Unlock()
 		s.retire(job)
 	}
@@ -385,12 +460,25 @@ func (s *Server) runJob(job *Job) {
 		s.finishJob(job, state, nil, nil, false, false, err)
 		return
 	}
+	if src == srcComputed && len(ent.traceRecs) > 0 {
+		// Only cold computes update the last-run gauges: a cache hit
+		// replays a stored answer, it is not a new run.
+		trace.PublishRecords(s.metrics, ent.traceRecs)
+	}
 	s.finishJob(job, StateDone, &ent.rec, ent.traceRecs, src == srcHit, src == srcCoalesced, nil)
 }
 
 // finishJob records the terminal state in both the job and the counters.
 func (s *Server) finishJob(job *Job, state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) {
-	job.finish(state, rec, traceRecs, hit, coalesced, err)
+	ran, started := job.finish(state, rec, traceRecs, hit, coalesced, err)
+	s.m.jobs.With(string(state)).Inc()
+	if started {
+		h := s.m.jobSecondsCold
+		if hit || coalesced {
+			h = s.m.jobSecondsHot
+		}
+		h.Observe(ran.Seconds())
+	}
 	s.mu.Lock()
 	switch state {
 	case StateDone:
@@ -447,6 +535,71 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.drained
 		return ctx.Err()
 	}
+}
+
+// Metrics returns the server's registry — cfg.Metrics when one was
+// provided, otherwise the private registry New created. Handler serves
+// it at GET /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// dequeueRingSize bounds the service-rate sample Retry-After hints use.
+const dequeueRingSize = 32
+
+// retryAfterCap bounds the hint so a stalled server never tells clients
+// to go away for hours.
+const retryAfterCap = 300
+
+// noteDequeue records one worker pickup in the bounded ring. Caller
+// holds s.mu.
+func (s *Server) noteDequeue(t time.Time) {
+	if len(s.dequeues) < dequeueRingSize {
+		s.dequeues = append(s.dequeues, t)
+		return
+	}
+	s.dequeues[s.dequeueNext] = t
+	s.dequeueNext = (s.dequeueNext + 1) % dequeueRingSize
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the observed
+// dequeue rate and the current backlog: with n recent pickups spanning
+// span seconds, the queue drains at (n-1)/span jobs per second, so a
+// backlog of q jobs should clear in about q*span/(n-1) seconds. Floor 1
+// (the old hardcoded value, kept for near-empty queues and cold starts
+// with no rate sample yet), capped at retryAfterCap.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	queued := s.queued
+	n := len(s.dequeues)
+	var oldest, newest time.Time
+	if n >= 2 {
+		oldest, newest = s.dequeues[0], s.dequeues[0]
+		for _, t := range s.dequeues[1:] {
+			if t.Before(oldest) {
+				oldest = t
+			}
+			if t.After(newest) {
+				newest = t
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if queued <= 0 || n < 2 {
+		return 1
+	}
+	span := newest.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 1
+	}
+	rate := float64(n-1) / span // jobs per second
+	secs := int(math.Ceil(float64(queued) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > retryAfterCap {
+		return retryAfterCap
+	}
+	return secs
 }
 
 // Stats is the observable state of the server, served at /v1/stats.

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"mndmst/internal/cluster"
+	"mndmst/internal/obs"
+
+	"strconv"
+)
+
+// Publish exports a completed run's accounting into reg as labeled
+// gauges — the live-scrape form of the same totals Records flattens.
+// Gauges carry last-published-run semantics: each completed run
+// overwrites the previous one (phase series from an earlier run with a
+// different phase set simply stop updating).
+//
+// Aggregation matches the Report accessors the text Profile renders:
+// seconds are maxima across ranks (makespan semantics, like
+// Report.PhaseTime/ExecutionTime), traffic is summed across ranks (like
+// Report.TotalBytes/TotalMsgs).
+func Publish(reg *obs.Registry, rep *cluster.Report) {
+	if rep == nil {
+		return
+	}
+	PublishRecords(reg, Records(rep))
+}
+
+// PublishRecords is Publish over an already-flattened record sequence —
+// the form the serve layer caches per job.
+func PublishRecords(reg *obs.Registry, recs []Record) {
+	if reg == nil || len(recs) == 0 {
+		return
+	}
+	var (
+		simMax, wallMax float64
+		bytes, msgs     int64
+		ranks           int64
+
+		phaseCompute = map[string]float64{}
+		phaseComm    = map[string]float64{}
+		phaseWall    = map[string]float64{}
+		phaseBytes   = map[string]int64{}
+		phaseMsgs    = map[string]int64{}
+	)
+	for _, r := range recs {
+		switch r.Kind {
+		case "rank":
+			ranks++
+			simMax = max(simMax, r.Total)
+			wallMax = max(wallMax, r.Wall)
+			bytes += r.BytesSent
+			msgs += r.Msgs
+		case "phase":
+			phaseCompute[r.Phase] = max(phaseCompute[r.Phase], r.Compute)
+			phaseComm[r.Phase] = max(phaseComm[r.Phase], r.Comm)
+			phaseWall[r.Phase] = max(phaseWall[r.Phase], r.Wall)
+			phaseBytes[r.Phase] += r.BytesSent
+			phaseMsgs[r.Phase] += r.Msgs
+		}
+	}
+
+	reg.Gauge("mndmst_run_ranks",
+		"rank count of the last completed run").Set(float64(ranks))
+	reg.Gauge("mndmst_run_sim_seconds",
+		"simulated makespan of the last completed run (max across ranks)").Set(simMax)
+	reg.Gauge("mndmst_run_wall_seconds",
+		"real elapsed seconds of the last completed run (max across ranks; 0 for in-process runs)").Set(wallMax)
+	reg.Gauge("mndmst_run_bytes_sent",
+		"payload bytes sent during the last completed run (sum across ranks)").Set(float64(bytes))
+	reg.Gauge("mndmst_run_msgs",
+		"messages sent during the last completed run (sum across ranks)").Set(float64(msgs))
+
+	compute := reg.GaugeVec("mndmst_run_phase_compute_seconds",
+		"per-phase simulated compute seconds of the last completed run (max across ranks)", "phase")
+	comm := reg.GaugeVec("mndmst_run_phase_comm_seconds",
+		"per-phase simulated communication seconds of the last completed run (max across ranks)", "phase")
+	wall := reg.GaugeVec("mndmst_run_phase_wall_seconds",
+		"per-phase real elapsed seconds of the last completed run (max across ranks)", "phase")
+	pbytes := reg.GaugeVec("mndmst_run_phase_bytes_sent",
+		"per-phase payload bytes of the last completed run (sum across ranks)", "phase")
+	pmsgs := reg.GaugeVec("mndmst_run_phase_msgs",
+		"per-phase messages of the last completed run (sum across ranks)", "phase")
+	for phase := range phaseCompute {
+		compute.With(phase).Set(phaseCompute[phase])
+		comm.With(phase).Set(phaseComm[phase])
+		wall.With(phase).Set(phaseWall[phase])
+		pbytes.With(phase).Set(float64(phaseBytes[phase]))
+		pmsgs.With(phase).Set(float64(phaseMsgs[phase]))
+	}
+}
+
+// PublishRank exports one rank's label as a convenience for daemons that
+// want their scrape to say which rank they are.
+func PublishRank(reg *obs.Registry, rank int) {
+	reg.GaugeVec("mndmst_rank_info",
+		"constant 1, labeled with this process's rank", "rank").
+		With(strconv.Itoa(rank)).Set(1)
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -110,6 +111,85 @@ func TestRecordsMatchesJSONL(t *testing.T) {
 func TestReadJSONLRejectsGarbage(t *testing.T) {
 	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestReadJSONLTruncated: a stream cut off mid-record (a crashed writer,
+// a partial download) must surface an error, never a silently shortened
+// record list.
+func TestReadJSONLTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	// Cut inside the final record's JSON object.
+	cut := strings.LastIndex(whole, `"msgs"`)
+	if cut < 0 {
+		t.Fatalf("fixture JSONL has no msgs key:\n%s", whole)
+	}
+	if _, err := ReadJSONL(strings.NewReader(whole[:cut+3])); err == nil {
+		t.Fatal("mid-record truncation accepted")
+	}
+	// A clean cut at a record boundary parses (fewer records is the
+	// caller's problem, not a decode error).
+	boundary := strings.Index(whole, "\n") + 1
+	recs, err := ReadJSONL(strings.NewReader(whole[:boundary]))
+	if err != nil {
+		t.Fatalf("whole-record prefix rejected: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records from a one-line prefix", len(recs))
+	}
+	// Empty input is zero records, not an error.
+	if recs, err := ReadJSONL(strings.NewReader("")); err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %d records, err %v", len(recs), err)
+	}
+}
+
+// TestCSVMatchesRecords: every CSV data row must correspond field-for-field
+// to a "phase" record from Records — one flattening, two formats.
+func TestCSVMatchesRecords(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")[1:] // drop header
+
+	var phases []Record
+	for _, r := range Records(rep) {
+		if r.Kind == "phase" {
+			phases = append(phases, r)
+		}
+	}
+	if len(lines) != len(phases) {
+		t.Fatalf("%d CSV rows for %d phase records", len(lines), len(phases))
+	}
+	for i, r := range phases {
+		want := fmt.Sprintf("%d,%s,%g,%g,%d,%d", r.Rank, r.Phase, r.Compute, r.Comm, r.BytesSent, r.Msgs)
+		if lines[i] != want {
+			t.Fatalf("row %d:\n csv    %q\n record %q", i, lines[i], want)
+		}
+	}
+}
+
+// TestProfileGolden pins the exact rendering of the wall-clock fixture:
+// any drift in alignment, column set, or number formatting is a visible
+// diff here before it is a surprise in a terminal.
+func TestProfileGolden(t *testing.T) {
+	const want = "simulated execution: 0.004000s (compute max 0.003000s, comm max 0.001000s)\n" +
+		"real execution: 0.250000s wall (max across ranks)\n" +
+		"traffic: 1 messages, 512 bytes\n" +
+		"load balance: makespan/avg = 1.33\n" +
+		"rank  total(s)    compute(s)  comm(s)     wall(s)     bytes\n" +
+		"   0  0.004000    0.003000    0.001000    0.250000    512\n" +
+		"   1  0.002000    0.002000    0.000000    0.220000    0\n" +
+		"phase breakdown (max across ranks):\n" +
+		"  alpha            compute 0.003000   comm 0.000000   wall 0.220000  \n" +
+		"  beta             compute 0.000000   comm 0.001000   wall 0.050000  \n"
+	if got := Profile(wallReport()); got != want {
+		t.Fatalf("profile rendering drifted:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -3,6 +3,8 @@ package transport
 import (
 	"sync"
 	"time"
+
+	"mndmst/internal/obs"
 )
 
 // outFrame is one queued outbound frame: the wire tag plus the fully
@@ -37,6 +39,10 @@ type sendq struct {
 
 	err    error // sticky failure; queued frames are dropped
 	closed bool  // graceful: no new puts, queued frames still drain
+
+	// hw, when non-nil, tracks the peak queued payload bytes — the
+	// backpressure high-water mark the observability layer exports.
+	hw *obs.Gauge
 }
 
 func newSendq(maxBytes int64) *sendq {
@@ -85,6 +91,7 @@ func (q *sendq) put(f outFrame, deadline time.Time) error {
 			q.frames = append(q.frames, f)
 			q.bytes += int64(len(f.payload))
 			q.enq++
+			q.hw.SetMax(float64(q.bytes))
 			q.cond.Broadcast()
 			return nil
 		}

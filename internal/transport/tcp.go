@@ -8,9 +8,11 @@ import (
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"mndmst/internal/obs"
 	"mndmst/internal/wire"
 )
 
@@ -59,6 +61,12 @@ type TCPConfig struct {
 	// bounded end-to-end buffering to reproduce flow-control behaviour
 	// deterministically; production runs should leave the OS autotuning on.
 	SocketBufferBytes int
+	// Metrics, when non-nil, receives the endpoint's transport counters:
+	// per-peer frames/bytes in both directions, send-queue high-water
+	// marks, heartbeats, peer timeouts, and dial retries. Registries are
+	// per-process by convention — two endpoints sharing one registry
+	// would merge their per-peer series.
+	Metrics *obs.Registry
 }
 
 // defaultSendQueueBytes is the per-peer outbound queue bound when
@@ -114,10 +122,48 @@ type tcpPeer struct {
 	inbox *queue
 	out   *sendq
 	ready chan struct{} // closed once conn is attached
+	m     peerMetrics   // zero-valued (all nil, no-op) without a registry
 
 	mu   sync.Mutex // guards conn and err; never held across a socket write
 	conn net.Conn
 	err  error // sticky death marker
+}
+
+// peerMetrics are one peer link's counter handles, resolved once at mesh
+// construction so the data path stays lock-free. All fields are nil-safe
+// no-ops when no registry is configured.
+type peerMetrics struct {
+	framesSent *obs.Counter
+	bytesSent  *obs.Counter
+	framesRecv *obs.Counter
+	bytesRecv  *obs.Counter
+	heartbeats *obs.Counter
+	timeouts   *obs.Counter
+}
+
+// peerMetricsFor registers the per-peer transport families and resolves
+// this link's handles. Byte counters measure wire payload bytes (the
+// 8-byte virtual-arrival header included, frame envelope excluded), so
+// the sender's and receiver's counts of one link match exactly.
+func peerMetricsFor(reg *obs.Registry, rank int) peerMetrics {
+	if reg == nil {
+		return peerMetrics{}
+	}
+	peer := strconv.Itoa(rank)
+	return peerMetrics{
+		framesSent: reg.CounterVec("mndmst_transport_frames_sent_total",
+			"data frames handed to the kernel, by destination rank", "peer").With(peer),
+		bytesSent: reg.CounterVec("mndmst_transport_bytes_sent_total",
+			"payload bytes handed to the kernel, by destination rank", "peer").With(peer),
+		framesRecv: reg.CounterVec("mndmst_transport_frames_received_total",
+			"data frames delivered to the inbox, by source rank", "peer").With(peer),
+		bytesRecv: reg.CounterVec("mndmst_transport_bytes_received_total",
+			"payload bytes delivered to the inbox, by source rank", "peer").With(peer),
+		heartbeats: reg.CounterVec("mndmst_transport_heartbeats_sent_total",
+			"liveness heartbeats sent on idle links, by peer rank", "peer").With(peer),
+		timeouts: reg.CounterVec("mndmst_transport_peer_timeouts_total",
+			"watchdog expiries: no frame or heartbeat within PeerTimeout, by peer rank", "peer").With(peer),
+	}
 }
 
 // DialTCP joins a cluster: it listens for peers, registers with the
@@ -154,16 +200,21 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		selfBox: newQueue(),
 		closed:  make(chan struct{}),
 	}
+	sendqHW := cfg.Metrics.GaugeVec("mndmst_transport_sendq_highwater_bytes",
+		"peak queued payload bytes awaiting the writer, by destination rank", "peer")
 	for i := 0; i < p; i++ {
 		if i == rank {
 			continue
 		}
-		t.peers[i] = &tcpPeer{
+		peer := &tcpPeer{
 			rank:  i,
 			inbox: newQueue(),
 			out:   newSendq(cfg.SendQueueBytes),
 			ready: make(chan struct{}),
+			m:     peerMetricsFor(cfg.Metrics, i),
 		}
+		peer.out.hw = sendqHW.With(strconv.Itoa(i))
+		t.peers[i] = peer
 	}
 
 	// Accept inbound connections from higher-ranked peers…
@@ -174,7 +225,7 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	// exactly one pooled connection (dialer = higher rank).
 	deadline := time.Now().Add(cfg.DialTimeout)
 	for i := 0; i < rank; i++ {
-		conn, err := dialRetry(addrs[i], deadline)
+		conn, err := dialRetry(addrs[i], deadline, dialRetryCounter(cfg.Metrics))
 		if err != nil {
 			t.Close() //lint:droperr Close never fails; the dial error is the report
 			return nil, fmt.Errorf("transport: rank %d: peer %d: %w", rank, i, err)
@@ -253,7 +304,7 @@ func retryableRendezvousError(err error) bool {
 
 // rendezvousOnce performs one coordinator handshake attempt.
 func rendezvousOnce(cfg TCPConfig, advertise string, deadline time.Time) (rank, p int, addrs []string, err error) {
-	conn, err := dialRetry(cfg.Coordinator, deadline)
+	conn, err := dialRetry(cfg.Coordinator, deadline, dialRetryCounter(cfg.Metrics))
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("transport: coordinator %s: %w", cfg.Coordinator, err)
 	}
@@ -302,8 +353,16 @@ func rendezvousOnce(cfg TCPConfig, advertise string, deadline time.Time) (rank, 
 	return int(r64), int(p64), addrs, nil
 }
 
-// dialRetry dials addr with exponential backoff until the deadline.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+// dialRetryCounter resolves the shared dial-retry counter (nil without a
+// registry; the registry deduplicates repeated resolutions).
+func dialRetryCounter(reg *obs.Registry) *obs.Counter {
+	return reg.Counter("mndmst_transport_dial_retries_total",
+		"failed coordinator/peer dial attempts that were retried with backoff")
+}
+
+// dialRetry dials addr with exponential backoff until the deadline,
+// counting each failed-and-retried attempt on retries (nil-safe).
+func dialRetry(addr string, deadline time.Time, retries *obs.Counter) (net.Conn, error) {
 	backoff := 10 * time.Millisecond
 	for {
 		d := net.Dialer{Deadline: deadline}
@@ -314,6 +373,7 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 		if time.Now().Add(backoff).After(deadline) {
 			return nil, fmt.Errorf("dial %s: %w", addr, err)
 		}
+		retries.Inc()
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > 500*time.Millisecond {
 			backoff = 500 * time.Millisecond
@@ -411,6 +471,7 @@ func (t *TCP) readLoop(p *tcpPeer) {
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				p.m.timeouts.Inc()
 				err = fmt.Errorf("no frame or heartbeat for %v", t.cfg.PeerTimeout)
 			}
 			t.failPeer(p, err)
@@ -423,6 +484,8 @@ func (t *TCP) readLoop(p *tcpPeer) {
 			t.failPeer(p, fmt.Errorf("frame from rank %d lacks arrival header", p.rank))
 			return
 		}
+		p.m.framesRecv.Inc()
+		p.m.bytesRecv.Add(int64(len(payload)))
 		arrival := math.Float64frombits(binary.LittleEndian.Uint64(payload))
 		p.inbox.put(Message{Tag: tag, Arrival: arrival, Data: payload[8:]})
 	}
@@ -446,11 +509,14 @@ func (t *TCP) writeLoop(p *tcpPeer) {
 			if t.writeFrame(p, tagHeartbeat, nil) != nil {
 				return // writeFrame already failed the peer and the queue
 			}
+			p.m.heartbeats.Inc()
 			continue
 		}
 		if t.writeFrame(p, f.tag, f.payload) != nil {
 			return // frames in flight are lost with the connection
 		}
+		p.m.framesSent.Inc()
+		p.m.bytesSent.Add(int64(len(f.payload)))
 		p.out.complete()
 	}
 }

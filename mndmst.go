@@ -42,6 +42,7 @@ import (
 	"mndmst/internal/graph"
 	"mndmst/internal/hypar"
 	"mndmst/internal/mst"
+	"mndmst/internal/obs"
 	"mndmst/internal/trace"
 	"mndmst/internal/transport"
 	"mndmst/internal/wire"
@@ -250,6 +251,11 @@ type ClusterConfig struct {
 	// PeerTimeout is how long a silent peer is tolerated before it is
 	// declared dead and blocked receives fail (default 5s).
 	PeerTimeout time.Duration
+	// Metrics, when non-nil, receives this rank's transport counters
+	// (frames/bytes per peer, send-queue high-water, dial retries) and —
+	// with Options.Chaos — injected-fault counts. One registry per
+	// process; nil disables instrumentation at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c ClusterConfig) tcp() transport.TCPConfig {
@@ -259,6 +265,7 @@ func (c ClusterConfig) tcp() transport.TCPConfig {
 		DialTimeout:       c.DialTimeout,
 		HeartbeatInterval: c.HeartbeatInterval,
 		PeerTimeout:       c.PeerTimeout,
+		Metrics:           c.Metrics,
 	}
 }
 
@@ -369,7 +376,7 @@ type ChaosConfig struct {
 // chaosRecvTimeoutDefault bounds receives under chaos when unset.
 const chaosRecvTimeoutDefault = 30 * time.Second
 
-func (c *ChaosConfig) wrap(ep transport.Transport) transport.Transport {
+func (c *ChaosConfig) wrap(ep transport.Transport, reg *obs.Registry) transport.Transport {
 	cfg := chaos.Config{
 		Seed:        c.Seed,
 		DropProb:    c.DropProb,
@@ -379,6 +386,7 @@ func (c *ChaosConfig) wrap(ep transport.Transport) transport.Transport {
 		DelayProb:   c.DelayProb,
 		DelayMax:    c.DelayMax,
 		RecvTimeout: c.RecvTimeout,
+		Metrics:     reg,
 	}
 	if cfg.RecvTimeout <= 0 {
 		cfg.RecvTimeout = chaosRecvTimeoutDefault
@@ -514,6 +522,11 @@ func (t *RunTrace) Profile() string { return trace.Profile(t.rep) }
 // usable only inside the module (the serve layer and the commands).
 func (t *RunTrace) Records() []trace.Record { return trace.Records(t.rep) }
 
+// Publish exports the run's totals into a metrics registry as the
+// mndmst_run_* gauges (makespan, per-phase seconds, traffic) — the
+// live-scrape form of the same accounting. No-op on a nil registry.
+func (t *RunTrace) Publish(reg *obs.Registry) { trace.Publish(reg, t.rep) }
+
 func resultFromReport(rep *cluster.Report) *Result {
 	res := &Result{
 		SimSeconds:     rep.ExecutionTime(),
@@ -581,7 +594,7 @@ func FindMSFDistributed(g *Graph, opts Options, cfg ClusterConfig) (*Result, err
 	}
 	var ep transport.Transport = tcpEP
 	if opts.Chaos != nil {
-		ep = opts.Chaos.wrap(ep)
+		ep = opts.Chaos.wrap(ep, cfg.Metrics)
 	}
 	defer ep.Close()
 	machine := opts.Machine.model()

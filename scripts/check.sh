@@ -26,6 +26,56 @@ run_serve() {
     MNDMST_BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
         go test -run XXX -bench BenchmarkServeThroughput -benchtime 50x ./internal/serve/
     cat BENCH_serve.json
+    run_metrics_smoke
+}
+
+run_metrics_smoke() {
+    # Metrics smoke against the real binary: start mndmst-serve, run the
+    # same job twice (cold compute, then cache hit), and require the
+    # /metrics exposition to show exactly that — the grep is on full
+    # sample lines, so a renamed series or a miscounted increment fails
+    # the gate, not just an empty scrape.
+    echo "== serve metrics smoke (live /metrics scrape) =="
+    tmp=$(mktemp -d)
+    trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+    go build -o "$tmp/mndmst-serve" ./cmd/mndmst-serve
+    "$tmp/mndmst-serve" -listen 127.0.0.1:0 -workers 2 > "$tmp/serve.log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/.*serving on \([0-9.:]*\).*/\1/p' "$tmp/serve.log")
+        [ -n "$addr" ] && break
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$tmp/serve.log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "mndmst-serve never announced its address" >&2; cat "$tmp/serve.log"; exit 1; }
+    body='{"graph":{"profile":"road_usa","scale":0.05},"options":{"nodes":2},"wait":true}'
+    curl -sf "http://$addr/v1/jobs" -d "$body" > /dev/null
+    curl -sf "http://$addr/v1/jobs" -d "$body" > /dev/null
+    curl -sf "http://$addr/metrics" > "$tmp/metrics.txt"
+    for line in \
+        'mndmst_serve_jobs_total{state="done"} 2' \
+        'mndmst_serve_result_cache_misses_total 1' \
+        'mndmst_serve_result_cache_hits_total 1' \
+        'mndmst_serve_job_seconds_count{cache="cold"} 1' \
+        'mndmst_serve_job_seconds_count{cache="hot"} 1' \
+        'mndmst_serve_queue_depth 0'; do
+        if ! grep -qF "$line" "$tmp/metrics.txt"; then
+            echo "metrics smoke: missing exact line: $line" >&2
+            cat "$tmp/metrics.txt"
+            exit 1
+        fi
+    done
+    grep -q '^mndmst_run_phase_compute_seconds{phase=' "$tmp/metrics.txt" || {
+        echo "metrics smoke: no per-phase run gauges" >&2
+        cat "$tmp/metrics.txt"
+        exit 1
+    }
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "mndmst-serve did not drain cleanly on SIGTERM" >&2; cat "$tmp/serve.log"; exit 1; }
+    trap - EXIT
+    rm -rf "$tmp"
+    echo "metrics smoke passed"
 }
 
 run_chaos() {

@@ -1,13 +1,13 @@
 package mndmst
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"mndmst/internal/bench/schema"
 	"mndmst/internal/cluster"
 	"mndmst/internal/cost"
 	"mndmst/internal/merge"
@@ -19,16 +19,31 @@ import (
 // multiple non-trivial rounds (3 rounds of 2 disjoint pairs).
 const commBenchRanks = 4
 
-// commBenchResult is one row of BENCH_comm.json: measured wall-clock
+// commBenchResult is one scenario of BENCH_comm.json: measured wall-clock
 // throughput of the all-to-all delta exchange at one per-pair payload size.
 type commBenchResult struct {
-	Name         string  `json:"name"`
-	Ranks        int     `json:"ranks"`
-	PayloadBytes int64   `json:"payload_bytes_per_pair"`
-	BytesPerOp   int64   `json:"bytes_moved_per_op"`
-	Iters        int     `json:"iters"`
-	WallNs       int64   `json:"wall_ns"`
-	MBPerSec     float64 `json:"mb_per_s"`
+	Name         string
+	Ranks        int
+	PayloadBytes int64
+	BytesPerOp   int64
+	Iters        int
+	WallNs       int64
+	MBPerSec     float64
+}
+
+// scenario converts one measurement into the canonical record form.
+func (r commBenchResult) scenario() schema.Scenario {
+	return schema.Scenario{
+		Name: r.Name,
+		Metrics: map[string]float64{
+			"ranks":                  float64(r.Ranks),
+			"payload_bytes_per_pair": float64(r.PayloadBytes),
+			"bytes_moved_per_op":     float64(r.BytesPerOp),
+			"iters":                  float64(r.Iters),
+			"wall_seconds":           float64(r.WallNs) / 1e9,
+			"mb_per_s":               r.MBPerSec,
+		},
+	}
 }
 
 // benchExchangeDeltas times b.N all-to-all exchanges of a payloadBytes
@@ -134,10 +149,12 @@ func benchExchangeDeltas(b *testing.B, name string, payloadBytes int64) commBenc
 
 // BenchmarkExchangeComm measures real wall-clock throughput of the §3.3
 // all-to-all ghost-delta exchange over loopback TCP at two per-pair
-// payload sizes, and writes the measurements to BENCH_comm.json so the
-// comm-path performance trajectory accumulates across revisions. The file
-// lands in the working directory (the repo root under `go test .`);
-// override the path with MNDMST_BENCH_COMM_OUT.
+// payload sizes, and writes the measurements to BENCH_comm.json — in the
+// canonical mndmst-bench record schema, so `mndmst-bench -validate` and
+// `-compare` gate this file like any other — so the comm-path performance
+// trajectory accumulates across revisions. The file lands in the working
+// directory (the repo root under `go test .`); override the path with
+// MNDMST_BENCH_COMM_OUT.
 func BenchmarkExchangeComm(b *testing.B) {
 	results := make(map[string]commBenchResult)
 	var order []string
@@ -150,22 +167,20 @@ func BenchmarkExchangeComm(b *testing.B) {
 	b.Run("64KiB", func(b *testing.B) { record(benchExchangeDeltas(b, "deltas-64KiB", 64<<10)) })
 	b.Run("1MiB", func(b *testing.B) { record(benchExchangeDeltas(b, "deltas-1MiB", 1<<20)) })
 
-	out := struct {
-		Benchmark string            `json:"benchmark"`
-		Results   []commBenchResult `json:"results"`
-	}{Benchmark: "ExchangeComm"}
-	for _, name := range order {
-		out.Results = append(out.Results, results[name])
+	out := &schema.File{
+		Schema: schema.Version,
+		Mode:   schema.ModeWall,
+		Suite:  "comm",
+		Env:    schema.CaptureEnv(),
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
+	for _, name := range order {
+		out.Scenarios = append(out.Scenarios, results[name].scenario())
 	}
 	path := os.Getenv("MNDMST_BENCH_COMM_OUT")
 	if path == "" {
 		path = "BENCH_comm.json"
 	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	if err := schema.Write(path, out); err != nil {
 		b.Fatal(err)
 	}
 	b.Logf("wrote %s", path)

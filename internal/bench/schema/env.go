@@ -1,0 +1,43 @@
+package schema
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// CaptureEnv fingerprints the machine a wall-clock record is measured
+// on: the attributes that make wall numbers comparable (or not). Two
+// records from different fingerprints should be compared with suspicion.
+// Sim records omit the fingerprint so their bytes stay portable.
+func CaptureEnv() *Env {
+	return &Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the first "model name" from /proc/cpuinfo; empty on
+// platforms without it. Best-effort: a missing model degrades the
+// fingerprint, not the record.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,167 @@
+// Package schema defines the canonical, versioned on-disk format of the
+// repo's benchmark records (BENCH_core.json and friends): a flat list of
+// named scenarios, each carrying a map of numeric metrics, plus enough
+// header to interpret them — the measurement mode (deterministic simulated
+// clock vs real wall clock), the workload scale, and (for wall-clock files)
+// an environment fingerprint. Every benchmark emitter in the tree writes
+// this one schema, so a single validator and a single comparator can gate
+// all of them.
+//
+// Encoding is canonical: scenarios keep their suite order, metric maps
+// serialize with sorted keys (encoding/json's map behaviour), and floats
+// use Go's shortest round-trip representation — two encodes of the same
+// File are byte-identical, which is what makes sim-mode baselines exactly
+// diffable.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Version is the schema identifier every valid file carries. Bump it when
+// the layout changes incompatibly; the validator rejects unknown versions
+// so a stale reader never silently misinterprets a newer file.
+const Version = "mndmst-bench/v1"
+
+// Measurement modes.
+const (
+	// ModeSim marks deterministic simulated-clock metrics: bit-stable
+	// across runs, compared exactly.
+	ModeSim = "sim"
+	// ModeWall marks real wall-clock measurements: machine-dependent,
+	// compared within a tolerance band.
+	ModeWall = "wall"
+)
+
+// Env fingerprints the machine a wall-clock file was measured on. Sim
+// files omit it so their bytes are portable across machines.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// Scenario is one named measurement: a pinned workload/configuration pair
+// and the metrics it produced.
+type Scenario struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// File is one benchmark record.
+type File struct {
+	Schema string `json:"schema"`
+	Mode   string `json:"mode"`
+	// Suite names the emitter ("core" for the mndmst-bench harness,
+	// "comm"/"serve" for the test-embedded smokes).
+	Suite string `json:"suite"`
+	// Scale is the workload scale the scenarios ran at (0 when the suite
+	// has no scale knob).
+	Scale     float64    `json:"scale,omitempty"`
+	Env       *Env       `json:"env,omitempty"`
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Validate checks structural integrity: known version and mode, at least
+// one scenario, unique non-empty scenario names, at least one metric per
+// scenario, and finite metric values. A file that passes Validate is safe
+// to compare and safe to gate on — in particular, a silently-empty record
+// (zero scenarios) is invalid by construction.
+func (f *File) Validate() error {
+	if f.Schema != Version {
+		return fmt.Errorf("schema: unknown schema %q (want %q)", f.Schema, Version)
+	}
+	if f.Mode != ModeSim && f.Mode != ModeWall {
+		return fmt.Errorf("schema: unknown mode %q (want %q or %q)", f.Mode, ModeSim, ModeWall)
+	}
+	if f.Suite == "" {
+		return fmt.Errorf("schema: empty suite name")
+	}
+	if len(f.Scenarios) == 0 {
+		return fmt.Errorf("schema: no scenarios (an empty bench record gates nothing)")
+	}
+	seen := make(map[string]bool, len(f.Scenarios))
+	for i, s := range f.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("schema: scenario %d has an empty name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("schema: duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Metrics) == 0 {
+			return fmt.Errorf("schema: scenario %q has no metrics", s.Name)
+		}
+		for name, v := range s.Metrics {
+			if name == "" {
+				return fmt.Errorf("schema: scenario %q has an empty metric name", s.Name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("schema: scenario %q metric %q is %v", s.Name, name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode validates f and serializes it canonically (indented JSON with a
+// trailing newline). Two calls over equal Files return identical bytes.
+func Encode(f *File) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Write encodes f to path.
+func Write(path string, f *File) error {
+	buf, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Read parses and validates one File.
+func Read(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("schema: decode: %w", err)
+	}
+	// Trailing garbage after the object means the file is not one record.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("schema: trailing data after record")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and validates the File at path.
+func Load(path string) (*File, error) {
+	raw, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer raw.Close()
+	f, err := Read(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,250 @@
+package schema
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validFile() *File {
+	return &File{
+		Schema: Version,
+		Mode:   ModeSim,
+		Suite:  "core",
+		Scale:  0.05,
+		Scenarios: []Scenario{
+			{Name: "core/road_usa/p4", Metrics: map[string]float64{
+				"sim_seconds": 1.25, "bytes_sent": 4096, "msgs": 17,
+			}},
+			{Name: "comm/deltas/p4", Metrics: map[string]float64{
+				"comm_seconds": 0.003,
+			}},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodFile(t *testing.T) {
+	if err := validFile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*File)
+		want string
+	}{
+		{"wrong version", func(f *File) { f.Schema = "mndmst-bench/v0" }, "unknown schema"},
+		{"wrong mode", func(f *File) { f.Mode = "cpu" }, "unknown mode"},
+		{"empty suite", func(f *File) { f.Suite = "" }, "empty suite"},
+		{"no scenarios", func(f *File) { f.Scenarios = nil }, "no scenarios"},
+		{"empty name", func(f *File) { f.Scenarios[0].Name = "" }, "empty name"},
+		{"duplicate name", func(f *File) { f.Scenarios[1].Name = f.Scenarios[0].Name }, "duplicate"},
+		{"no metrics", func(f *File) { f.Scenarios[0].Metrics = nil }, "no metrics"},
+		{"nan metric", func(f *File) { f.Scenarios[0].Metrics["sim_seconds"] = math.NaN() }, "NaN"},
+		{"inf metric", func(f *File) { f.Scenarios[0].Metrics["sim_seconds"] = math.Inf(1) }, "+Inf"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFile()
+			tc.mut(f)
+			err := f.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a file with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEncodeIsCanonical(t *testing.T) {
+	a, err := Encode(validFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(validFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodes of equal files differ:\n%s\n---\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("encoded file does not end in a newline")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := validFile()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestReadRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"mndmst-bench/v1","mode":"sim","suite":"x","bogus":1}`)); err == nil {
+		t.Fatal("Read accepted an unknown field")
+	}
+	buf, err := Encode(validFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(append(buf, []byte("{}")...))); err == nil {
+		t.Fatal("Read accepted trailing data")
+	}
+}
+
+func TestCompareSimExact(t *testing.T) {
+	base, cur := validFile(), validFile()
+	res, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() || len(res.Deltas) != 0 {
+		t.Fatalf("identical files did not pass: %+v", res)
+	}
+
+	// Any drift at all — even far below any wall tolerance — regresses.
+	cur.Scenarios[0].Metrics["sim_seconds"] *= 1.0001
+	res, err = Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || res.Regressions != 1 {
+		t.Fatalf("perturbed sim file passed: %+v", res)
+	}
+	var buf bytes.Buffer
+	res.Report(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "sim_seconds") {
+		t.Fatalf("report lacks the per-metric regression line:\n%s", out)
+	}
+}
+
+func TestCompareWallTolerance(t *testing.T) {
+	mk := func(wall, thr float64) *File {
+		return &File{
+			Schema: Version, Mode: ModeWall, Suite: "core",
+			Scenarios: []Scenario{{Name: "s", Metrics: map[string]float64{
+				"wall_seconds": wall, "jobs_per_s": thr,
+			}}},
+		}
+	}
+	base := mk(1.0, 100)
+
+	// Inside the band: 10% slower and 10% less throughput pass at 25%.
+	res, err := Compare(base, mk(1.10, 90), Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("in-band wall drift regressed: %+v", res)
+	}
+	if len(res.Deltas) != 2 {
+		t.Fatalf("drifts were not reported: %+v", res.Deltas)
+	}
+
+	// Outside the band, lower-better direction.
+	res, err = Compare(base, mk(1.40, 100), Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("40% wall slowdown passed a 25% band")
+	}
+
+	// Outside the band, higher-better direction.
+	res, err = Compare(base, mk(1.0, 60), Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("40% throughput loss passed a 25% band")
+	}
+
+	// Improvements never regress, in either direction.
+	res, err = Compare(base, mk(0.3, 400), Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("improvement counted as regression: %+v", res)
+	}
+
+	// A custom band applies.
+	res, err = Compare(base, mk(1.10, 100), Tolerance{WallPct: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("10% slowdown passed a 5% band")
+	}
+}
+
+func TestCompareMissingScenarioAndMetric(t *testing.T) {
+	base, cur := validFile(), validFile()
+	cur.Scenarios = cur.Scenarios[:1]
+	res, err := Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || len(res.MissingScenarios) != 1 {
+		t.Fatalf("dropped scenario passed: %+v", res)
+	}
+
+	cur = validFile()
+	delete(cur.Scenarios[0].Metrics, "msgs")
+	res, err = Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() || len(res.MissingMetrics) != 1 {
+		t.Fatalf("dropped metric passed: %+v", res)
+	}
+
+	// New scenarios are informational only.
+	cur = validFile()
+	cur.Scenarios = append(cur.Scenarios, Scenario{
+		Name: "core/extra", Metrics: map[string]float64{"sim_seconds": 1},
+	})
+	res, err = Compare(base, cur, Tolerance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() || len(res.NewScenarios) != 1 {
+		t.Fatalf("new scenario handling wrong: %+v", res)
+	}
+}
+
+func TestCompareRejectsIncomparableFiles(t *testing.T) {
+	base := validFile()
+	wall := validFile()
+	wall.Mode = ModeWall
+	if _, err := Compare(base, wall, Tolerance{}); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	scaled := validFile()
+	scaled.Scale = 0.1
+	if _, err := Compare(base, scaled, Tolerance{}); err == nil {
+		t.Fatal("sim scale mismatch accepted")
+	}
+	suite := validFile()
+	suite.Suite = "comm"
+	if _, err := Compare(base, suite, Tolerance{}); err == nil {
+		t.Fatal("suite mismatch accepted")
+	}
+}

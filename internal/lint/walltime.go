@@ -15,6 +15,7 @@ var wallClockExempt = map[string]bool{
 	"chaos":     true,
 	"serve":     true,
 	"obs":       true, // metrics observe real latencies by definition
+	"harness":   true, // the wall-clock bench mode times scenarios by design
 }
 
 // wallClockFuncs are the time functions that leak the real clock into a

@@ -221,6 +221,22 @@ func ParseText(r io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
+// Snapshot renders the registry through the canonical text encoder and
+// parses it straight back: a flat map from sample key (name plus label
+// block, exactly as a scraper would see it) to value. Out-of-band
+// consumers — the benchmark harness cross-checks its measured run totals
+// against the published run gauges — read through Snapshot so they
+// exercise the same encode path a live /metrics scrape does; an encoder
+// regression therefore fails the cross-check, not just the scrape.
+func (r *Registry) Snapshot() (map[string]float64, error) {
+	if r == nil {
+		return map[string]float64{}, nil
+	}
+	var b bytes.Buffer
+	r.encode(&b)
+	return ParseText(&b)
+}
+
 func parseSampleValue(s string) (float64, error) {
 	if s == "+Inf" || s == "-Inf" || s == "NaN" {
 		// Accept the canonical special spellings strconv also handles.

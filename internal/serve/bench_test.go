@@ -2,20 +2,34 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"os"
 	"testing"
 	"time"
+
+	"mndmst/internal/bench/schema"
 )
 
-// serveBenchResult is one row of BENCH_serve.json: end-to-end service
-// throughput (submit → terminal state) for one cache regime.
+// serveBenchResult is one scenario of BENCH_serve.json: end-to-end
+// service throughput (submit → terminal state) for one cache regime.
 type serveBenchResult struct {
-	Name       string  `json:"name"`
-	Workers    int     `json:"workers"`
-	Iters      int     `json:"iters"`
-	WallNs     int64   `json:"wall_ns"`
-	JobsPerSec float64 `json:"jobs_per_s"`
+	Name       string
+	Workers    int
+	Iters      int
+	WallNs     int64
+	JobsPerSec float64
+}
+
+// scenario converts one measurement into the canonical record form.
+func (r serveBenchResult) scenario() schema.Scenario {
+	return schema.Scenario{
+		Name: r.Name,
+		Metrics: map[string]float64{
+			"workers":      float64(r.Workers),
+			"iters":        float64(r.Iters),
+			"wall_seconds": float64(r.WallNs) / 1e9,
+			"jobs_per_s":   r.JobsPerSec,
+		},
+	}
 }
 
 // benchServeJobs measures b.N jobs through the full service path —
@@ -83,10 +97,12 @@ func benchServeJobs(b *testing.B, name string, cold bool) serveBenchResult {
 
 // BenchmarkServeThroughput measures service throughput in the two cache
 // regimes — every job computes (cold) vs every job answered from memory
-// (hot) — and writes the measurements to BENCH_serve.json so the serving
-// overhead trajectory accumulates across revisions. The file lands in the
-// package directory under `go test ./internal/serve -bench`; override the
-// path with MNDMST_BENCH_SERVE_OUT.
+// (hot) — and writes the measurements to BENCH_serve.json in the
+// canonical mndmst-bench record schema (so `mndmst-bench -validate` and
+// `-compare` gate this file like any other), accumulating the serving
+// overhead trajectory across revisions. The file lands in the package
+// directory under `go test ./internal/serve -bench`; override the path
+// with MNDMST_BENCH_SERVE_OUT.
 func BenchmarkServeThroughput(b *testing.B) {
 	results := make(map[string]serveBenchResult)
 	var order []string
@@ -99,22 +115,20 @@ func BenchmarkServeThroughput(b *testing.B) {
 	b.Run("cold", func(b *testing.B) { record(benchServeJobs(b, "jobs-cache-cold", true)) })
 	b.Run("hot", func(b *testing.B) { record(benchServeJobs(b, "jobs-cache-hot", false)) })
 
-	out := struct {
-		Benchmark string             `json:"benchmark"`
-		Results   []serveBenchResult `json:"results"`
-	}{Benchmark: "ServeThroughput"}
-	for _, name := range order {
-		out.Results = append(out.Results, results[name])
+	out := &schema.File{
+		Schema: schema.Version,
+		Mode:   schema.ModeWall,
+		Suite:  "serve",
+		Env:    schema.CaptureEnv(),
 	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		b.Fatal(err)
+	for _, name := range order {
+		out.Scenarios = append(out.Scenarios, results[name].scenario())
 	}
 	path := os.Getenv("MNDMST_BENCH_SERVE_OUT")
 	if path == "" {
 		path = "BENCH_serve.json"
 	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	if err := schema.Write(path, out); err != nil {
 		b.Fatal(err)
 	}
 	b.Logf("wrote %s", path)

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzJobRequestDecode hammers the submission decode path with arbitrary
+// bodies. Properties: decoding never panics; a body the decoder accepts
+// must survive resolve() without panicking (resolve may reject it — that
+// is the 400 path — but must not crash the server); and a decoded
+// request re-encodes to JSON that decodes back to the same request
+// (round-trip stability of the wire form).
+func FuzzJobRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"graph":{"profile":"road_usa","scale":0.02},"options":{"nodes":2}}`))
+	f.Add([]byte(`{"graph":{"path":"g.mnd"},"system":"bsp","timeout_ms":500,"wait":true}`))
+	f.Add([]byte(`{"graph":{"text":"g.txt","seed":7},"options":{"machine":"cray","gpu":true,"node_speeds":[1,2]}}`))
+	f.Add([]byte(`{"system":"nonsense"}`))
+	f.Add([]byte(`{"graph":{}}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"options":{"nodes":-3,"group":0}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"graph":{"profile":"x"}} trailing`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeJobRequest(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be safe to validate and to re-encode.
+		_, _, rerr := req.resolve()
+		buf, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", merr)
+		}
+		req2, err := decodeJobRequest(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v\njson: %s", err, buf)
+		}
+		buf2, merr := json.Marshal(req2)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("wire form unstable:\n first: %s\nsecond: %s", buf, buf2)
+		}
+		// resolve must be deterministic: the round-tripped request agrees.
+		_, _, rerr2 := req2.resolve()
+		if (rerr == nil) != (rerr2 == nil) {
+			t.Fatalf("resolve verdict changed across round-trip: %v vs %v", rerr, rerr2)
+		}
+		if rerr != nil && !strings.HasPrefix(rerr.Error(), "serve:") {
+			t.Fatalf("resolve error lacks package prefix: %v", rerr)
+		}
+	})
+}

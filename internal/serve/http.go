@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -56,11 +57,20 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code string, err 
 	s.writeJSON(w, status, errorBody{Code: code, Error: err.Error()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeJobRequest parses one submission body: strict field checking, so
+// a typoed option name is a 400 instead of a silently-default job. The
+// caller bounds the reader (MaxBytesReader on the HTTP path).
+func decodeJobRequest(r io.Reader) (JobRequest, error) {
 	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	return req, err
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeJobRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad_json", err)
 		return
 	}

@@ -30,44 +30,18 @@ func PublishRecords(reg *obs.Registry, recs []Record) {
 	if reg == nil || len(recs) == 0 {
 		return
 	}
-	var (
-		simMax, wallMax float64
-		bytes, msgs     int64
-		ranks           int64
-
-		phaseCompute = map[string]float64{}
-		phaseComm    = map[string]float64{}
-		phaseWall    = map[string]float64{}
-		phaseBytes   = map[string]int64{}
-		phaseMsgs    = map[string]int64{}
-	)
-	for _, r := range recs {
-		switch r.Kind {
-		case "rank":
-			ranks++
-			simMax = max(simMax, r.Total)
-			wallMax = max(wallMax, r.Wall)
-			bytes += r.BytesSent
-			msgs += r.Msgs
-		case "phase":
-			phaseCompute[r.Phase] = max(phaseCompute[r.Phase], r.Compute)
-			phaseComm[r.Phase] = max(phaseComm[r.Phase], r.Comm)
-			phaseWall[r.Phase] = max(phaseWall[r.Phase], r.Wall)
-			phaseBytes[r.Phase] += r.BytesSent
-			phaseMsgs[r.Phase] += r.Msgs
-		}
-	}
+	s := Summarize(recs)
 
 	reg.Gauge("mndmst_run_ranks",
-		"rank count of the last completed run").Set(float64(ranks))
+		"rank count of the last completed run").Set(float64(s.Ranks))
 	reg.Gauge("mndmst_run_sim_seconds",
-		"simulated makespan of the last completed run (max across ranks)").Set(simMax)
+		"simulated makespan of the last completed run (max across ranks)").Set(s.SimSeconds)
 	reg.Gauge("mndmst_run_wall_seconds",
-		"real elapsed seconds of the last completed run (max across ranks; 0 for in-process runs)").Set(wallMax)
+		"real elapsed seconds of the last completed run (max across ranks; 0 for in-process runs)").Set(s.WallSeconds)
 	reg.Gauge("mndmst_run_bytes_sent",
-		"payload bytes sent during the last completed run (sum across ranks)").Set(float64(bytes))
+		"payload bytes sent during the last completed run (sum across ranks)").Set(float64(s.BytesSent))
 	reg.Gauge("mndmst_run_msgs",
-		"messages sent during the last completed run (sum across ranks)").Set(float64(msgs))
+		"messages sent during the last completed run (sum across ranks)").Set(float64(s.Msgs))
 
 	compute := reg.GaugeVec("mndmst_run_phase_compute_seconds",
 		"per-phase simulated compute seconds of the last completed run (max across ranks)", "phase")
@@ -79,12 +53,12 @@ func PublishRecords(reg *obs.Registry, recs []Record) {
 		"per-phase payload bytes of the last completed run (sum across ranks)", "phase")
 	pmsgs := reg.GaugeVec("mndmst_run_phase_msgs",
 		"per-phase messages of the last completed run (sum across ranks)", "phase")
-	for phase := range phaseCompute {
-		compute.With(phase).Set(phaseCompute[phase])
-		comm.With(phase).Set(phaseComm[phase])
-		wall.With(phase).Set(phaseWall[phase])
-		pbytes.With(phase).Set(float64(phaseBytes[phase]))
-		pmsgs.With(phase).Set(float64(phaseMsgs[phase]))
+	for phase, p := range s.Phases {
+		compute.With(phase).Set(p.Compute)
+		comm.With(phase).Set(p.Comm)
+		wall.With(phase).Set(p.Wall)
+		pbytes.With(phase).Set(float64(p.BytesSent))
+		pmsgs.With(phase).Set(float64(p.Msgs))
 	}
 }
 

@@ -12,8 +12,40 @@
 #                             clients, coalescing, admission, SIGTERM
 #                             drain) plus the throughput bench that emits
 #                             BENCH_serve.json
+#   scripts/check.sh --bench  perf-regression gate only: the mndmst-bench
+#                             sim suite twice (byte-identity required),
+#                             validated and compared against the committed
+#                             bench.baseline.json
+#   scripts/check.sh --coverage
+#                             coverage ratchet only (scripts/coverage.sh)
 set -eu
 cd "$(dirname "$0")/.."
+
+run_bench() {
+    # Perf-regression gate: the deterministic sim suite must (a) produce
+    # byte-identical records across two runs — any nondeterminism voids
+    # the exact-diff contract — and (b) match the committed baseline
+    # exactly. A drifted metric is a perf change: bless it by
+    # regenerating bench.baseline.json in the same commit.
+    echo "== perf-regression harness (sim gate) =="
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    go build -o "$tmp/mndmst-bench" ./cmd/mndmst-bench
+    "$tmp/mndmst-bench" -mode sim -quiet -out "$tmp/run1.json"
+    "$tmp/mndmst-bench" -mode sim -quiet -out "$tmp/run2.json"
+    cmp "$tmp/run1.json" "$tmp/run2.json" || {
+        echo "bench gate: two sim runs are not byte-identical" >&2
+        exit 1
+    }
+    "$tmp/mndmst-bench" -validate "$tmp/run1.json"
+    "$tmp/mndmst-bench" -compare bench.baseline.json -current "$tmp/run1.json" || {
+        echo "bench gate: regression vs bench.baseline.json — if intentional, regenerate the baseline:" >&2
+        echo "  go run ./cmd/mndmst-bench -mode sim -out bench.baseline.json" >&2
+        exit 1
+    }
+    trap - EXIT
+    rm -rf "$tmp"
+}
 
 run_serve() {
     # Job-service suite: the serve package and its binary under the race
@@ -25,7 +57,9 @@ run_serve() {
     echo "== serve throughput bench (emits BENCH_serve.json) =="
     MNDMST_BENCH_SERVE_OUT="$PWD/BENCH_serve.json" \
         go test -run XXX -bench BenchmarkServeThroughput -benchtime 50x ./internal/serve/
-    cat BENCH_serve.json
+    # A silently-empty or truncated record must fail the gate, so the
+    # emitted file is validated structurally, not just printed.
+    go run ./cmd/mndmst-bench -validate BENCH_serve.json
     run_metrics_smoke
 }
 
@@ -104,6 +138,16 @@ if [ "${1:-}" = "--serve" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--bench" ]; then
+    run_bench
+    echo "bench gate passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--coverage" ]; then
+    exec scripts/coverage.sh
+fi
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -171,6 +215,10 @@ go run ./cmd/mndmst -profile arabic-2005 -scale 0.05 -verify -json
 echo "== benches (smoke; emits BENCH_comm.json) =="
 MNDMST_BENCH_SCALE="${MNDMST_BENCH_SCALE:-0.1}" \
     go test -run XXX -bench 'BenchmarkTable2|BenchmarkFindMSFHost|BenchmarkExchangeComm' -benchtime 1x .
-cat BENCH_comm.json
+# A silently-empty or truncated record must fail the gate, so the emitted
+# file is validated structurally, not just printed.
+go run ./cmd/mndmst-bench -validate BENCH_comm.json
+
+run_bench
 
 echo "all checks passed"

@@ -1,0 +1,98 @@
+#!/bin/sh
+# Coverage ratchet: runs the full test suite with -covermode=atomic and
+# enforces per-package floors from coverage.floor.txt. Floors are
+# ratchet-only — `--update` raises a package's floor when its coverage
+# grew (current minus a small slack) but never lowers one, so coverage
+# can only trend up. A package below its floor fails the gate.
+#
+#   scripts/coverage.sh            check against the committed floors
+#   scripts/coverage.sh --update   raise floors to match current coverage
+#
+# The worst-covered packages table is printed at the end; CI appends it
+# to the job summary. The merged profile lands in cover.out (override
+# with MNDMST_COVERPROFILE) for go tool cover -html inspection.
+set -eu
+cd "$(dirname "$0")/.."
+
+floors=coverage.floor.txt
+profile="${MNDMST_COVERPROFILE:-cover.out}"
+# Slack --update leaves between measured coverage and the new floor, so
+# benign run-to-run jitter (timing-dependent error paths) doesn't fail
+# the next gate. In percentage points.
+slack=2.0
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== go test -covermode=atomic (full tree) =="
+if ! go test -covermode=atomic -coverprofile="$profile" ./... > "$tmp/out.txt" 2>&1; then
+    cat "$tmp/out.txt"
+    echo "coverage: test suite failed" >&2
+    exit 1
+fi
+
+# Flatten to "package percent" pairs ("ok <pkg> <time> coverage: N% of
+# statements" and the bare no-test-binary form both parse).
+awk '/coverage:/ {
+    pkg = ""; pct = ""
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /^mndmst/) pkg = $i
+        if ($i ~ /%$/) { pct = $i; sub(/%/, "", pct) }
+    }
+    if (pkg != "" && pct != "") print pkg, pct
+}' "$tmp/out.txt" | sort > "$tmp/cover.txt"
+
+if [ ! -s "$tmp/cover.txt" ]; then
+    cat "$tmp/out.txt"
+    echo "coverage: no coverage lines in test output" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    # Ratchet: new floor = max(old floor, current - slack), one decimal.
+    # Packages with zero coverage (examples, scaffolding) get no floor.
+    : > "$tmp/floors.new"
+    while read -r pkg pct; do
+        old=$(awk -v p="$pkg" '$1 == p { print $2 }' "$floors" 2>/dev/null || true)
+        new=$(awk -v c="$pct" -v s="$slack" -v o="${old:-0}" 'BEGIN {
+            f = c - s; if (f < o) f = o; if (f < 0) f = 0; printf "%.1f", f }')
+        if awk -v c="$pct" 'BEGIN { exit !(c > 0) }'; then
+            printf '%s %s\n' "$pkg" "$new" >> "$tmp/floors.new"
+        fi
+    done < "$tmp/cover.txt"
+    {
+        echo "# Per-package coverage floors (percent), enforced by scripts/coverage.sh."
+        echo "# Ratchet-only: regenerate with scripts/coverage.sh --update — floors rise"
+        echo "# with coverage but never fall. Lowering one by hand is a reviewed decision."
+        sort "$tmp/floors.new"
+    } > "$floors"
+    echo "updated $floors ($(grep -c '^mndmst' "$floors") packages)"
+    exit 0
+fi
+
+[ -f "$floors" ] || { echo "coverage: $floors missing; run scripts/coverage.sh --update" >&2; exit 1; }
+
+status=0
+while read -r pkg floor; do
+    case "$pkg" in ''|\#*) continue ;; esac
+    pct=$(awk -v p="$pkg" '$1 == p { print $2 }' "$tmp/cover.txt")
+    if [ -z "$pct" ]; then
+        echo "FAIL $pkg: package missing from test output (deleted? update $floors)"
+        status=1
+        continue
+    fi
+    if awk -v c="$pct" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+        echo "FAIL $pkg: coverage $pct% fell below floor $floor%"
+        status=1
+    fi
+done < "$floors"
+
+echo
+echo "== worst-covered packages =="
+sort -k2 -n "$tmp/cover.txt" | awk '$2 > 0' | head -8 | awk '{ printf "%7.1f%%  %s\n", $2, $1 }'
+
+if [ "$status" -ne 0 ]; then
+    echo "coverage ratchet failed: raise tests, or (reviewed) lower the floor in $floors" >&2
+    exit 1
+fi
+echo "coverage ratchet passed"

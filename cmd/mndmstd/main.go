@@ -114,12 +114,17 @@ func run(args []string, out io.Writer) error {
 
 		metricsListen = fs.String("metrics-listen", "", "serve GET /metrics on this address while the run is in flight (\"\" disables)")
 		pprofOn       = fs.Bool("pprof", false, "also expose net/http/pprof under /debug/pprof/ on -metrics-listen")
+		retrySeed     = fs.Int64("retry-seed", 0, "seed for the jittered dial/rendezvous backoff (0 = clock-derived; give each rank its own)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	reg := obs.NewRegistry()
+	// dialCancel aborts the join's retry loops (backoff sleeps included)
+	// on the first drain signal: a worker stuck re-dialing a dead
+	// coordinator exits promptly instead of sleeping out its backoff.
+	dialCancel := make(chan struct{})
 	cfg := mndmst.ClusterConfig{
 		Coordinator:       *coordinator,
 		Listen:            *listen,
@@ -127,6 +132,8 @@ func run(args []string, out io.Writer) error {
 		HeartbeatInterval: *heartbeat,
 		PeerTimeout:       *peerTO,
 		Metrics:           reg,
+		RetrySeed:         *retrySeed,
+		Cancel:            dialCancel,
 	}
 	if *metricsListen != "" {
 		addr, stopMetrics, err := startMetricsServer(reg, *metricsListen, *pprofOn)
@@ -208,6 +215,7 @@ func run(args []string, out io.Writer) error {
 	stopSignals := serve.OnSignals(
 		func() {
 			fmt.Fprintln(os.Stderr, "mndmstd: drain: finishing in-flight computation (next signal forces exit)")
+			close(dialCancel)
 		},
 		func() {
 			fmt.Fprintln(os.Stderr, "mndmstd: forced exit; peers will observe this rank as dead")

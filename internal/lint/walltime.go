@@ -16,6 +16,7 @@ var wallClockExempt = map[string]bool{
 	"serve":     true,
 	"obs":       true, // metrics observe real latencies by definition
 	"harness":   true, // the wall-clock bench mode times scenarios by design
+	"retry":     true, // backoff waits are wall-clock by contract; sim tests inject Clock
 }
 
 // wallClockFuncs are the time functions that leak the real clock into a

@@ -1,0 +1,49 @@
+package retry_test
+
+// External test package: it imports the layers whose typed errors opt into
+// the classification contract (transport itself imports retry for its
+// backoff policies, so this cannot live in package retry).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mndmst/internal/chaos"
+	"mndmst/internal/cluster"
+	"mndmst/internal/retry"
+	"mndmst/internal/transport"
+)
+
+// TestLayerClassification pins the cross-layer contract: every typed fault
+// error a failed distributed run can surface classifies transient, and the
+// permanent kinds (sentinels, protocol/validation, context) never do. A
+// new typed error that should trigger re-execution belongs in this table.
+func TestLayerClassification(t *testing.T) {
+	peerDead := &transport.PeerDeadError{Rank: 1, Cause: errors.New("conn reset")}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"transport.PeerDeadError", peerDead, true},
+		{"transport.SendQueueFullError", &transport.SendQueueFullError{Rank: 2, Wait: time.Second}, true},
+		{"cluster.RankLostError", &cluster.RankLostError{Rank: 1, Op: "recv", Cause: peerDead}, true},
+		{"cluster.AbortError", &cluster.AbortError{Rank: 0, Cause: peerDead}, true},
+		{"chaos.CorruptFrameError", &chaos.CorruptFrameError{Src: 1, Err: errors.New("bad checksum")}, true},
+		{"chaos.FrameLossError", &chaos.FrameLossError{Src: 1, Want: 7, Buffered: 3}, true},
+		{"chaos.DeadlineError", &chaos.DeadlineError{Src: 0, Want: 9, Timeout: time.Second}, true},
+		{"chaos.CrashStopError", &chaos.CrashStopError{Rank: 2, Step: 40}, true},
+		{"wrapped rank loss", fmt.Errorf("run failed: %w", &cluster.RankLostError{Rank: 3, Op: "send", Cause: transport.ErrClosed}), true},
+		{"transport.ErrClosed sentinel", transport.ErrClosed, false},
+		{"context.Canceled", context.Canceled, false},
+		{"context.DeadlineExceeded", context.DeadlineExceeded, false},
+		{"plain validation error", errors.New("mndmst: nodes must be >= 1"), false},
+	} {
+		if got := retry.Transient(tc.err); got != tc.want {
+			t.Errorf("%s: Transient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package retry is the shared fault-recovery policy engine: exponential
+// backoff with deterministic, seedable jitter, attempt budgets, and
+// deadline clamping, plus the error-classification contract every layer
+// agrees on.
+//
+// Classification is a capability, not a registry: a typed error opts into
+// re-execution by implementing
+//
+//	interface{ IsTransient() bool }
+//
+// and Transient walks the whole wrapped tree (errors.Join included). The
+// transport's PeerDeadError, the cluster's RankLostError/AbortError, and
+// the chaos layer's injected faults classify transient — a fresh execution
+// over fresh links may succeed. Protocol and validation errors implement
+// nothing and stay permanent: retrying a version mismatch reproduces it.
+// Permanent wraps any error so an engine stops retrying it (an explicit
+// false beats every true in the tree).
+//
+// Policies are sim-clock compatible: every time read and every sleep goes
+// through the Clock interface, so backoff schedules, budgets, and deadline
+// clamping are unit-testable in virtual time (SimClock) while production
+// callers use the wall clock. Backoff alone — the jittered schedule — is
+// usable by loops that cannot adopt Do (the transport's dial/rendezvous
+// loops select on their own teardown channels).
+package retry
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// transient is the classification capability typed errors implement.
+type transient interface {
+	IsTransient() bool
+}
+
+// Transient reports whether err is worth re-executing: at least one error
+// in its wrapped tree (Unwrap() error and Unwrap() []error are both
+// followed) reports IsTransient() == true and none reports an explicit
+// false. An explicit false — the Permanent wrapper, or a typed error that
+// classifies itself permanent — wins over any number of trues: if any
+// layer knows a retry cannot help, it cannot. Errors that implement
+// nothing are neutral, so a nil or untyped error is permanent by default;
+// context cancellation in particular never classifies transient.
+func Transient(err error) bool {
+	sawTransient, sawPermanent := false, false
+	walk(err, func(e error) {
+		if t, ok := e.(transient); ok {
+			if t.IsTransient() {
+				sawTransient = true
+			} else {
+				sawPermanent = true
+			}
+		}
+	})
+	return sawTransient && !sawPermanent
+}
+
+// walk visits every error in err's wrapped tree.
+func walk(err error, visit func(error)) {
+	for err != nil {
+		visit(err)
+		switch u := err.(type) {
+		case interface{ Unwrap() error }:
+			err = u.Unwrap()
+		case interface{ Unwrap() []error }:
+			for _, e := range u.Unwrap() {
+				walk(e, visit)
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// permanentError marks a (possibly transient) error permanently failed.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string     { return e.err.Error() }
+func (e *permanentError) Unwrap() error     { return e.err }
+func (e *permanentError) IsTransient() bool { return false }
+
+// Permanent wraps err so no policy engine retries it, whatever the rest of
+// its chain classifies. errors.Is/As still see the full chain. The serving
+// layer uses it to pin the drain rule: a draining server finishes the
+// in-flight attempt but never re-admits. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Clock abstracts time for policy engines so schedules are testable in
+// virtual time. Sleep must return early with ctx.Err() when ctx is done.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// wallClock is the production clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wall is the real-time Clock every production policy uses.
+var Wall Clock = wallClock{}
+
+// Default policy tuning when fields are unset.
+const (
+	defaultBaseDelay  = 25 * time.Millisecond
+	defaultMaxDelay   = time.Second
+	defaultMultiplier = 2.0
+)
+
+// Policy is one retry schedule: how many attempts, how long between them,
+// and how much deterministic jitter decorrelates restarting peers. The
+// zero value performs exactly one attempt (no retry).
+type Policy struct {
+	// MaxAttempts is the total attempt budget, first try included
+	// (<= 0 means 1: no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter in [0, 1] randomizes each delay downward into
+	// [delay*(1-Jitter), delay]. Spreading restarts is the point: N
+	// workers restarted together must not hammer a coordinator in
+	// lockstep. 0 disables jitter.
+	Jitter float64
+	// Seed drives the jitter deterministically: same (Seed, attempt) →
+	// same delay, so any schedule replays bit-identically in tests.
+	// Production callers should decorrelate seeds per process.
+	Seed int64
+	// Budget bounds the whole engagement on the policy clock, measured
+	// from Do's entry (0 = unbounded; the ctx deadline still applies).
+	Budget time.Duration
+	// Clock supplies time (nil = Wall).
+	Clock Clock
+}
+
+func (p Policy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return defaultBaseDelay
+	}
+	return p.BaseDelay
+}
+
+func (p Policy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return defaultMaxDelay
+	}
+	return p.MaxDelay
+}
+
+func (p Policy) mult() float64 {
+	if p.Multiplier <= 1 {
+		return defaultMultiplier
+	}
+	return p.Multiplier
+}
+
+func (p Policy) clock() Clock {
+	if p.Clock == nil {
+		return Wall
+	}
+	return p.Clock
+}
+
+// splitmix64 is the avalanche mix behind the deterministic jitter draws —
+// the same generator the chaos layer uses for its pure fault decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit draws the deterministic jitter fraction in [0, 1) for one
+// (seed, attempt) coordinate.
+func unit(seed int64, attempt int) float64 {
+	x := splitmix64(splitmix64(uint64(seed)) ^ uint64(attempt+1))
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Backoff returns the delay before the retry following attempt (0-based:
+// Backoff(0) separates attempts 1 and 2). The exponential ramp is capped
+// at MaxDelay first, then jittered downward into [d*(1-Jitter), d] — a
+// pure function of (Seed, attempt), so two policies sharing a seed draw
+// identical schedules and two differing seeds decorrelate.
+func (p Policy) Backoff(attempt int) time.Duration {
+	d := float64(p.base())
+	capf := float64(p.cap())
+	for i := 0; i < attempt; i++ {
+		d *= p.mult()
+		if d >= capf {
+			d = capf
+			break
+		}
+	}
+	if d > capf {
+		d = capf
+	}
+	if j := p.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		d -= d * j * unit(p.Seed, attempt)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op under the policy: attempts are re-admitted while the error
+// classifies Transient, the attempt budget lasts, the Budget (on the
+// policy clock) and the ctx deadline leave room for the next backoff, and
+// ctx stays alive. op receives the 0-based attempt number. The last
+// attempt's error is returned; when the wait between attempts is cut short
+// by ctx, the ctx error is joined in front of it (and the whole join is
+// Permanent) so callers see the cancellation first and no outer policy
+// retries a dead context.
+func (p Policy) Do(ctx context.Context, op func(ctx context.Context, attempt int) error) error {
+	clk := p.clock()
+	var budgetEnd time.Time
+	if p.Budget > 0 {
+		budgetEnd = clk.Now().Add(p.Budget)
+	}
+	max := p.attempts()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		if !Transient(err) || attempt+1 >= max {
+			return err
+		}
+		d := p.Backoff(attempt)
+		if !budgetEnd.IsZero() && clk.Now().Add(d).After(budgetEnd) {
+			return err
+		}
+		if dl, ok := ctx.Deadline(); ok && clk.Now().Add(d).After(dl) {
+			return err
+		}
+		if serr := clk.Sleep(ctx, d); serr != nil {
+			// Permanent: an interrupted engagement must never classify
+			// transient, or an outer policy would re-spin a dead ctx.
+			return Permanent(errors.Join(serr, err))
+		}
+	}
+}

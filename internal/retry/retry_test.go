@@ -1,0 +1,240 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flaky is a transient typed error for tests.
+type flaky struct{ msg string }
+
+func (e *flaky) Error() string     { return e.msg }
+func (e *flaky) IsTransient() bool { return true }
+
+// hardFail is a typed error that classifies itself permanent.
+type hardFail struct{ msg string }
+
+func (e *hardFail) Error() string     { return e.msg }
+func (e *hardFail) IsTransient() bool { return false }
+
+func TestTransientClassification(t *testing.T) {
+	tr := &flaky{"link reset"}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"untyped", errors.New("boom"), false},
+		{"typed transient", tr, true},
+		{"wrapped transient", fmt.Errorf("attempt 2: %w", tr), true},
+		{"joined transient", errors.Join(errors.New("ctx"), tr), true},
+		{"typed permanent", &hardFail{"version mismatch"}, false},
+		{"permanent wrapper wins", Permanent(tr), false},
+		{"wrapped permanent wrapper wins", fmt.Errorf("outer: %w", Permanent(tr)), false},
+		{"joined explicit false wins", errors.Join(tr, &hardFail{"no"}), false},
+		{"context canceled", context.Canceled, false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+	} {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("%s: Transient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestPermanentTransparent(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatalf("Permanent(nil) != nil")
+	}
+	inner := &flaky{"flap"}
+	p := Permanent(fmt.Errorf("try: %w", inner))
+	if p.Error() != "try: flap" {
+		t.Fatalf("Permanent changed the message: %q", p.Error())
+	}
+	var got *flaky
+	if !errors.As(p, &got) || got != inner {
+		t.Fatalf("errors.As does not see through Permanent")
+	}
+}
+
+func TestBackoffScheduleDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 500 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.5, Seed: 42}
+	q := p // same seed → identical schedule
+	for attempt := 0; attempt < 12; attempt++ {
+		d := p.Backoff(attempt)
+		if d != q.Backoff(attempt) {
+			t.Fatalf("attempt %d: same seed drew different delays", attempt)
+		}
+		// Un-jittered ramp: base·2^attempt capped at MaxDelay.
+		full := 10 * time.Millisecond << uint(attempt)
+		if full > 500*time.Millisecond || full <= 0 {
+			full = 500 * time.Millisecond
+		}
+		lo := full / 2 // jitter 0.5 → [full/2, full]
+		if d < lo || d > full {
+			t.Fatalf("attempt %d: delay %v outside jitter bounds [%v, %v]", attempt, d, lo, full)
+		}
+	}
+	// A different seed must decorrelate somewhere in the schedule.
+	r := p
+	r.Seed = 43
+	same := true
+	for attempt := 0; attempt < 12; attempt++ {
+		if p.Backoff(attempt) != r.Backoff(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 drew identical 12-step schedules")
+	}
+}
+
+func TestBackoffNoJitterExactRamp(t *testing.T) {
+	p := Policy{BaseDelay: 25 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{25, 50, 100, 100}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDoPolicyTable(t *testing.T) {
+	transientErr := &flaky{"flap"}
+	permErr := errors.New("bad input")
+	for _, tc := range []struct {
+		name string
+		pol  Policy // Clock/Seed filled per-case
+		// failures before the op starts succeeding; -1 = always fail
+		failures   int
+		failWith   error
+		wantErr    error
+		wantCalls  int
+		wantSleeps int
+	}{
+		{name: "first try succeeds", pol: Policy{MaxAttempts: 3},
+			failures: 0, wantCalls: 1, wantSleeps: 0},
+		{name: "transient retried to success", pol: Policy{MaxAttempts: 4},
+			failures: 2, failWith: transientErr, wantCalls: 3, wantSleeps: 2},
+		{name: "attempt budget exhausted", pol: Policy{MaxAttempts: 3},
+			failures: -1, failWith: transientErr, wantErr: transientErr,
+			wantCalls: 3, wantSleeps: 2},
+		{name: "zero policy means one attempt", pol: Policy{},
+			failures: -1, failWith: transientErr, wantErr: transientErr,
+			wantCalls: 1, wantSleeps: 0},
+		{name: "permanent error stops immediately", pol: Policy{MaxAttempts: 5},
+			failures: -1, failWith: permErr, wantErr: permErr,
+			wantCalls: 1, wantSleeps: 0},
+		{name: "permanent wrapper stops a transient chain", pol: Policy{MaxAttempts: 5},
+			failures: -1, failWith: Permanent(transientErr), wantErr: transientErr,
+			wantCalls: 1, wantSleeps: 0},
+		{name: "time budget exhausted before attempts",
+			pol:      Policy{MaxAttempts: 10, BaseDelay: 40 * time.Millisecond, Budget: 100 * time.Millisecond},
+			failures: -1, failWith: transientErr, wantErr: transientErr,
+			// sleep 40ms (t=40); next backoff 80ms would end at 120ms,
+			// past the 100ms budget → stop: 2 calls, 1 sleep.
+			wantCalls: 2, wantSleeps: 1},
+		{name: "ctx deadline clamps next backoff",
+			pol:      Policy{MaxAttempts: 10, BaseDelay: 60 * time.Millisecond},
+			failures: -1, failWith: transientErr, wantErr: transientErr,
+			// deadline 100ms out: sleep 60 (now 60); next 120 would land
+			// at 180 > 100 → stop after 2 calls, 1 sleep.
+			wantCalls: 2, wantSleeps: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// The deadline case derives its ctx from context.WithDeadline,
+			// which watches the wall clock — anchor virtual time to it so
+			// the ctx is live while the sim clock does the clamping math.
+			start := time.Now()
+			clk := NewSimClock(start)
+			pol := tc.pol
+			pol.Clock = clk
+			ctx := context.Background()
+			if tc.name == "ctx deadline clamps next backoff" {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, start.Add(100*time.Millisecond))
+				defer cancel()
+			}
+			calls := 0
+			err := pol.Do(ctx, func(ctx context.Context, attempt int) error {
+				if attempt != calls {
+					t.Fatalf("attempt %d delivered as %d", calls, attempt)
+				}
+				calls++
+				if tc.failures < 0 || calls <= tc.failures {
+					return tc.failWith
+				}
+				return nil
+			})
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Do = %v, want %v", err, tc.wantErr)
+			}
+			if calls != tc.wantCalls {
+				t.Fatalf("op ran %d times, want %d", calls, tc.wantCalls)
+			}
+			if got := len(clk.Sleeps()); got != tc.wantSleeps {
+				t.Fatalf("slept %d times (%v), want %d", got, clk.Sleeps(), tc.wantSleeps)
+			}
+		})
+	}
+}
+
+func TestDoCanceledContextReturnsJoinedError(t *testing.T) {
+	clk := NewSimClock(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := &flaky{"flap"}
+	calls := 0
+	err := Policy{MaxAttempts: 5, Clock: clk}.Do(ctx, func(context.Context, int) error {
+		calls++
+		cancel() // interrupt the upcoming backoff sleep
+		return tr
+	})
+	if calls != 1 {
+		t.Fatalf("op ran %d times after cancel, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not classify as context.Canceled", err)
+	}
+	if !errors.Is(err, tr) {
+		t.Fatalf("err %v lost the attempt's cause", err)
+	}
+	if Transient(err) {
+		t.Fatalf("canceled join still classifies transient; retry would loop on a dead ctx")
+	}
+}
+
+func TestDoPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Policy{MaxAttempts: 3, Clock: NewSimClock(time.Unix(0, 0))}.Do(ctx,
+		func(context.Context, int) error {
+			t.Fatalf("op ran under a dead context")
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestWallSleepInterruptible(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Wall.Sleep(ctx, time.Hour) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Wall.Sleep(1h) did not return promptly after cancel")
+	}
+}

@@ -37,7 +37,9 @@ import (
 	"time"
 
 	"mndmst"
+	"mndmst/internal/cluster"
 	"mndmst/internal/obs"
+	"mndmst/internal/retry"
 	"mndmst/internal/trace"
 )
 
@@ -64,6 +66,20 @@ type Config struct {
 	// JobHistory bounds how many finished job records stay queryable via
 	// Job/GET /v1/jobs/{id} (default 4096; oldest evicted first).
 	JobHistory int
+	// MaxAttempts is the default total attempt budget (first try
+	// included) for jobs whose request does not set its own: a job whose
+	// execution fails with an error classifying retry.Transient is re-run
+	// until the budget, its original deadline, or a drain stops it
+	// (default 3; 1 disables retry).
+	MaxAttempts int
+	// RetryBaseDelay and RetryMaxDelay shape the jittered exponential
+	// backoff between job attempts (defaults 100ms and 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// RetrySeed drives the deterministic backoff jitter; each job
+	// decorrelates by its admission sequence number on top (0: derived
+	// from the wall clock at New).
+	RetrySeed int64
 	// Logf, when non-nil, receives diagnostic messages (delivery failures
 	// on the HTTP path); nil discards them.
 	Logf func(format string, args ...any)
@@ -90,6 +106,18 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 4096
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = time.Now().UnixNano()
+	}
 	return c
 }
 
@@ -104,8 +132,20 @@ func (e *QueueFullError) Error() string {
 	return fmt.Sprintf("serve: job queue full (depth %d); retry later", e.Depth)
 }
 
+// IsTransient classifies the rejection as retryable for retry.Transient:
+// admission control is load, not failure — clients back off and resubmit.
+func (e *QueueFullError) IsTransient() bool { return true }
+
 // ErrDraining rejects submissions arriving after Shutdown began.
 var ErrDraining = errors.New("serve: server is draining; not accepting jobs")
+
+// ErrDrainCanceled marks a job killed because the drain deadline expired
+// before it finished — the server's choice, not the client's. It is the
+// cancellation cause on the job's context, so the retry engine (which
+// must never resurrect a drain-canceled job) and the stats can tell a
+// drain kill from a client deadline, which both surface as ctx
+// cancellation.
+var ErrDrainCanceled = errors.New("serve: job canceled by server drain deadline")
 
 // JobState is the lifecycle state of a job.
 type JobState string
@@ -122,19 +162,27 @@ const (
 
 // Job is one admitted MSF computation request moving through the queue.
 type Job struct {
-	id     string
-	req    JobRequest
-	system string
-	opts   mndmst.Options
-	fpr    string // options fingerprint (cache key part)
+	id          string
+	seq         int64 // admission sequence number; decorrelates backoff jitter
+	req         JobRequest
+	system      string
+	opts        mndmst.Options
+	fpr         string // options fingerprint (cache key part)
+	maxAttempts int    // resolved attempt budget (request override or server default)
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// drainCancel cancels the job's context with ErrDrainCanceled as the
+	// cause; Shutdown uses it when the drain deadline expires, so the
+	// terminal accounting can tell the server's kill from the client's.
+	drainCancel context.CancelFunc
 
 	mu        sync.Mutex
 	state     JobState
 	cacheHit  bool
 	coalesced bool
+	attempts  int  // executions actually started
+	degraded  bool // answered by the local fallback after distributed attempts died
 	record    *Record
 	traceRecs []trace.Record
 	err       error
@@ -173,6 +221,21 @@ func (j *Job) Record() *Record {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.record
+}
+
+// Attempts returns how many executions the job has started — 1 for a
+// clean first-try job, more when transient failures were retried.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// noteAttempt records the start of execution attempt (0-based).
+func (j *Job) noteAttempt(attempt int) {
+	j.mu.Lock()
+	j.attempts = attempt + 1
+	j.mu.Unlock()
 }
 
 func (j *Job) setRunning() {
@@ -226,11 +289,14 @@ type Server struct {
 	jobs     map[string]*Job
 	history  []string // finished job ids, oldest first
 
-	jobsSubmitted int64
-	jobsCompleted int64
-	jobsFailed    int64
-	jobsCanceled  int64
-	jobsRejected  int64
+	jobsSubmitted     int64
+	jobsCompleted     int64
+	jobsFailed        int64
+	jobsCanceled      int64
+	jobsRejected      int64
+	jobsRetried       int64 // re-executions after a transient failure
+	jobsDegraded      int64 // answered by the local fallback path
+	jobsDrainCanceled int64 // killed by an expired drain deadline
 
 	// dequeues is a bounded ring of recent worker-dequeue times — the
 	// observed service-rate sample Retry-After hints derive from.
@@ -254,6 +320,11 @@ type serverMetrics struct {
 
 	jobSecondsCold *obs.Histogram // cache="cold": the algorithm actually ran
 	jobSecondsHot  *obs.Histogram // cache="hot": answered from cache or coalesced
+
+	retried       *obs.Counter   // re-executions after a transient failure
+	degraded      *obs.Counter   // jobs answered by the local fallback
+	drainCanceled *obs.Counter   // jobs killed by the drain deadline
+	jobAttempts   *obs.Histogram // executions per finished job
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -272,6 +343,15 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"submissions rejected by admission control, by reason", "reason"),
 		jobSeconds: reg.HistogramVec("mndmst_serve_job_seconds",
 			"job execution seconds (queue wait excluded), split by result temperature", nil, "cache"),
+		retried: reg.Counter("mndmst_serve_jobs_retried_total",
+			"job re-executions after a transient failure (attempts beyond each job's first)"),
+		degraded: reg.Counter("mndmst_serve_jobs_degraded_total",
+			"jobs answered by the local single-node fallback after distributed attempts exhausted"),
+		drainCanceled: reg.Counter("mndmst_serve_jobs_drain_canceled_total",
+			"jobs canceled by an expired drain deadline rather than a client deadline"),
+		jobAttempts: reg.Histogram("mndmst_serve_job_attempts",
+			"executions started per finished job (1 = no retry)",
+			[]float64{1, 2, 3, 4, 6, 8, 16}),
 	}
 	m.jobSecondsCold = m.jobSeconds.With("cold")
 	m.jobSecondsHot = m.jobSeconds.With("hot")
@@ -365,24 +445,39 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		return nil, &QueueFullError{Depth: s.cfg.QueueDepth}
 	}
 	s.nextID++
-	ctx := context.Background()
-	cancel := context.CancelFunc(func() {})
+	// The job context stacks a cancel-cause base under the deadline layer:
+	// a drain kill cancels the base with ErrDrainCanceled so
+	// context.Cause names the server, while the client's own deadline
+	// surfaces as the usual DeadlineExceeded.
+	base, baseCancel := context.WithCancelCause(context.Background())
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(base, timeout)
 	} else {
-		ctx, cancel = context.WithCancel(ctx)
+		ctx, cancel = context.WithCancel(base)
+	}
+	maxAttempts := req.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = s.cfg.MaxAttempts
 	}
 	job := &Job{
-		id:        fmt.Sprintf("j-%06d", s.nextID),
-		req:       req,
-		system:    system,
-		opts:      opts,
-		fpr:       opts.Fingerprint(),
-		ctx:       ctx,
-		cancel:    cancel,
-		state:     StateQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+		id:          fmt.Sprintf("j-%06d", s.nextID),
+		seq:         s.nextID,
+		req:         req,
+		system:      system,
+		opts:        opts,
+		fpr:         opts.Fingerprint(),
+		maxAttempts: maxAttempts,
+		ctx:         ctx,
+		cancel: func() {
+			cancel()
+			baseCancel(nil)
+		},
+		drainCancel: func() { baseCancel(ErrDrainCanceled) },
+		state:       StateQueued,
+		submitted:   time.Now(),
+		done:        make(chan struct{}),
 	}
 	s.jobs[job.id] = job
 	s.queued++
@@ -425,12 +520,15 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob drives one admitted job to its terminal state.
+// runJob drives one admitted job to its terminal state, re-admitting
+// attempts whose error classifies retry.Transient under the job's backoff
+// policy. Every attempt shares the job's original context, so the retry
+// engagement can never outlive the client's deadline; a draining server
+// finishes the in-flight attempt but re-admits nothing.
 func (s *Server) runJob(job *Job) {
 	defer job.cancel()
 	if err := job.ctx.Err(); err != nil {
-		s.finishJob(job, StateCanceled, nil, nil, false, false,
-			fmt.Errorf("serve: job %s canceled while queued: %w", job.id, err))
+		s.finishCanceled(job, fmt.Errorf("serve: job %s canceled while queued: %w", job.id, err))
 		return
 	}
 	job.setRunning()
@@ -440,24 +538,56 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	key := digest + "|" + job.system + "|" + job.fpr
-	ent, src, err := s.results.do(job.ctx, key, func() (*cacheEntry, error) {
-		res, err := s.execute(job.ctx, g, job.system, job.opts)
-		if err != nil {
-			return nil, err
+	pol := retry.Policy{
+		MaxAttempts: job.maxAttempts,
+		BaseDelay:   s.cfg.RetryBaseDelay,
+		MaxDelay:    s.cfg.RetryMaxDelay,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        s.cfg.RetrySeed + job.seq,
+	}
+	var ent *cacheEntry
+	var src resultSource
+	err = pol.Do(job.ctx, func(ctx context.Context, attempt int) error {
+		job.noteAttempt(attempt)
+		if attempt > 0 {
+			s.noteRetry()
 		}
-		rec := newRecord(g, digest, job.system, job.opts, res)
-		ent := &cacheEntry{rec: rec}
-		if res.Trace != nil {
-			ent.traceRecs = res.Trace.Records()
+		var derr error
+		ent, src, derr = s.results.do(ctx, key, func() (*cacheEntry, error) {
+			res, err := s.execute(ctx, g, job.system, job.opts)
+			if err != nil {
+				return nil, err
+			}
+			rec := newRecord(g, digest, job.system, job.opts, res)
+			ent := &cacheEntry{rec: rec}
+			if res.Trace != nil {
+				ent.traceRecs = res.Trace.Records()
+			}
+			return ent, nil
+		})
+		if derr != nil && s.Draining() {
+			// Drain rule: the current attempt ran to completion, but a
+			// draining server never re-admits — make the failure final.
+			return retry.Permanent(derr)
 		}
-		return ent, nil
+		return derr
 	})
 	if err != nil {
-		state := StateFailed
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			state = StateCanceled
+			s.finishCanceled(job, err)
+			return
 		}
-		s.finishJob(job, state, nil, nil, false, false, err)
+		// Exhausted transient budget on a distributed infrastructure
+		// failure: degrade to the local path rather than surface a fault
+		// the client cannot act on. Never while draining — the fallback
+		// is a fresh execution the drain already refused.
+		if retry.Transient(err) && degradableError(err) && !s.Draining() {
+			if s.degrade(job, g, digest) {
+				return
+			}
+		}
+		s.finishJob(job, StateFailed, nil, nil, false, false, err)
 		return
 	}
 	if src == srcComputed && len(ent.traceRecs) > 0 {
@@ -468,10 +598,79 @@ func (s *Server) runJob(job *Job) {
 	s.finishJob(job, StateDone, &ent.rec, ent.traceRecs, src == srcHit, src == srcCoalesced, nil)
 }
 
+// noteRetry counts one re-execution in the stats and metrics.
+func (s *Server) noteRetry() {
+	s.mu.Lock()
+	s.jobsRetried++
+	s.mu.Unlock()
+	s.m.retried.Inc()
+}
+
+// finishCanceled finishes a canceled job, distinguishing a drain kill
+// (the server's choice, recorded as such in the error and stats) from the
+// client's own deadline or cancel.
+func (s *Server) finishCanceled(job *Job, err error) {
+	if errors.Is(context.Cause(job.ctx), ErrDrainCanceled) {
+		err = fmt.Errorf("%w: %w", ErrDrainCanceled, err)
+		s.mu.Lock()
+		s.jobsDrainCanceled++
+		s.mu.Unlock()
+		s.m.drainCanceled.Inc()
+	}
+	s.finishJob(job, StateCanceled, nil, nil, false, false, err)
+}
+
+// degradableError reports whether the exhausted failure is a distributed
+// infrastructure loss — a rank gone or a run aborted by one — for which a
+// local single-node execution is a meaningful fallback. Anything else
+// (validation, graph loading, a failing sequential run) stays an error.
+func degradableError(err error) bool {
+	var rle *cluster.RankLostError
+	var ae *cluster.AbortError
+	return errors.As(err, &rle) || errors.As(err, &ae)
+}
+
+// degrade answers the job with the local single-node path after its
+// distributed attempts exhausted on rank loss. The fallback strips the
+// Transport/Cluster/Chaos plumbing — none of which is fingerprint-
+// relevant, so the answer is the one a healthy cluster would have
+// computed — and is deliberately NOT cached: the cache must only ever
+// serve full-fidelity results, and the record is marked Degraded so
+// clients see exactly what they got. Reports whether it answered.
+func (s *Server) degrade(job *Job, g *mndmst.Graph, digest string) bool {
+	opts := job.opts
+	opts.Transport = mndmst.TransportInProcess
+	opts.Cluster = nil
+	opts.Chaos = nil
+	res, err := s.execute(job.ctx, g, job.system, opts)
+	if err != nil {
+		return false // the distributed error stands; this was best-effort
+	}
+	job.noteAttempt(job.Attempts()) // the fallback ran one more execution
+	rec := newRecord(g, digest, job.system, job.opts, res)
+	rec.Degraded = true
+	job.mu.Lock()
+	job.degraded = true
+	job.mu.Unlock()
+	s.mu.Lock()
+	s.jobsDegraded++
+	s.mu.Unlock()
+	s.m.degraded.Inc()
+	var traceRecs []trace.Record
+	if res.Trace != nil {
+		traceRecs = res.Trace.Records()
+	}
+	s.finishJob(job, StateDone, &rec, traceRecs, false, false, nil)
+	return true
+}
+
 // finishJob records the terminal state in both the job and the counters.
 func (s *Server) finishJob(job *Job, state JobState, rec *Record, traceRecs []trace.Record, hit, coalesced bool, err error) {
 	ran, started := job.finish(state, rec, traceRecs, hit, coalesced, err)
 	s.m.jobs.With(string(state)).Inc()
+	if attempts := job.Attempts(); attempts > 0 {
+		s.m.jobAttempts.Observe(float64(attempts))
+	}
 	if started {
 		h := s.m.jobSecondsCold
 		if hit || coalesced {
@@ -529,7 +728,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
-			j.cancel()
+			// Cancel with the drain cause, not the plain cancel: the
+			// terminal state must record that the server killed the job.
+			j.drainCancel()
 		}
 		s.mu.Unlock()
 		<-s.drained
@@ -616,6 +817,14 @@ type Stats struct {
 	JobsCanceled  int64 `json:"jobs_canceled"`
 	JobsRejected  int64 `json:"jobs_rejected"`
 
+	// JobsRetried counts re-executions after transient failures (attempts
+	// beyond each job's first); JobsDegraded jobs answered by the local
+	// single-node fallback; JobsDrainCanceled jobs killed by an expired
+	// drain deadline rather than a client deadline.
+	JobsRetried       int64 `json:"jobs_retried"`
+	JobsDegraded      int64 `json:"jobs_degraded"`
+	JobsDrainCanceled int64 `json:"jobs_drain_canceled"`
+
 	// Computations counts executions that actually ran the algorithm —
 	// result-cache misses. ResultCacheHits are answered from memory;
 	// ResultCacheCoalesced waited on an identical in-flight computation.
@@ -636,16 +845,19 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Draining:      s.draining,
-		Workers:       s.cfg.Workers,
-		QueueCap:      s.cfg.QueueDepth,
-		Queued:        s.queued,
-		Running:       s.running,
-		JobsSubmitted: s.jobsSubmitted,
-		JobsCompleted: s.jobsCompleted,
-		JobsFailed:    s.jobsFailed,
-		JobsCanceled:  s.jobsCanceled,
-		JobsRejected:  s.jobsRejected,
+		Draining:          s.draining,
+		Workers:           s.cfg.Workers,
+		QueueCap:          s.cfg.QueueDepth,
+		Queued:            s.queued,
+		Running:           s.running,
+		JobsSubmitted:     s.jobsSubmitted,
+		JobsCompleted:     s.jobsCompleted,
+		JobsFailed:        s.jobsFailed,
+		JobsCanceled:      s.jobsCanceled,
+		JobsRejected:      s.jobsRejected,
+		JobsRetried:       s.jobsRetried,
+		JobsDegraded:      s.jobsDegraded,
+		JobsDrainCanceled: s.jobsDrainCanceled,
 	}
 	s.mu.Unlock()
 	s.results.fill(&st)

@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mndmst/internal/retry"
+)
+
+// refusedAddr returns a loopback address that actively refuses
+// connections: bind a port, then free it.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDialRetryCancelPrompt is the regression test for the uninterruptible
+// backoff sleep: with an hour-long backoff pending, closing Cancel must
+// return promptly with ErrDialCanceled instead of sleeping the hour out.
+func TestDialRetryCancelPrompt(t *testing.T) {
+	addr := refusedAddr(t)
+	cancel := make(chan struct{})
+	pol := retry.Policy{BaseDelay: time.Hour, MaxDelay: time.Hour, Multiplier: 2, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := dialRetry(addr, time.Now().Add(2*time.Hour), nil, pol, cancel)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first dial fail and the backoff start
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDialCanceled) {
+			t.Fatalf("dialRetry = %v, want ErrDialCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dialRetry still sleeping after cancel; backoff is uninterruptible again")
+	}
+}
+
+// TestRendezvousCancelPrompt covers the same interruptibility contract one
+// level up: a worker stuck re-dialing a dead coordinator must abandon the
+// rendezvous as soon as Cancel closes, long before DialTimeout.
+func TestRendezvousCancelPrompt(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := TCPConfig{
+		Coordinator: refusedAddr(t),
+		DialTimeout: time.Hour,
+		RetrySeed:   7,
+		Cancel:      cancel,
+	}.withDefaults()
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := rendezvousTCP(cfg, "127.0.0.1:1")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDialCanceled) {
+			t.Fatalf("rendezvousTCP = %v, want ErrDialCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rendezvousTCP did not abandon the backoff after cancel")
+	}
+}
+
+// TestDialTCPCancelWhileJoining cancels a full DialTCP stuck on a dead
+// coordinator and requires a prompt, typed failure.
+func TestDialTCPCancelWhileJoining(t *testing.T) {
+	cancel := make(chan struct{})
+	cfg := TCPConfig{
+		Coordinator: refusedAddr(t),
+		DialTimeout: time.Hour,
+		RetrySeed:   11,
+		Cancel:      cancel,
+	}
+	done := make(chan error, 1)
+	go func() {
+		tp, err := DialTCP(cfg)
+		if tp != nil {
+			tp.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrDialCanceled) {
+			t.Fatalf("DialTCP = %v, want ErrDialCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DialTCP did not return promptly after cancel")
+	}
+}
+
+// TestBackoffJitterDecorrelatesLoops pins the lockstep fix: the
+// rendezvous loop, the coordinator dial, and each peer dial draw from
+// decorrelated jitter streams, while the same seed replays the same
+// schedule (test determinism).
+func TestBackoffJitterDecorrelatesLoops(t *testing.T) {
+	const seed = 42
+	loops := []retry.Policy{
+		backoffPolicy(25*time.Millisecond, seed),
+		backoffPolicy(10*time.Millisecond, seed+seedOffsetCoordinatorDial),
+		backoffPolicy(10*time.Millisecond, seed+seedOffsetPeerDial+0),
+		backoffPolicy(10*time.Millisecond, seed+seedOffsetPeerDial+1),
+	}
+	schedule := func(p retry.Policy) []time.Duration {
+		out := make([]time.Duration, 10)
+		for i := range out {
+			out[i] = p.Backoff(i)
+		}
+		return out
+	}
+	for i, p := range loops {
+		si := schedule(p)
+		// Replayable: the same policy draws the same schedule.
+		for k, d := range schedule(p) {
+			if si[k] != d {
+				t.Fatalf("loop %d: schedule not deterministic at step %d", i, k)
+			}
+		}
+		// Decorrelated: no two loops share a full schedule.
+		for j, q := range loops[i+1:] {
+			sj := schedule(q)
+			same := true
+			for k := range si {
+				if si[k] != sj[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("loops %d and %d drew identical 10-step schedules; workers would retry in lockstep", i, i+1+j)
+			}
+		}
+	}
+	// Jitter stays inside the policy envelope: capped at MaxDelay, never
+	// below half the un-jittered value (Jitter = 0.5).
+	p := backoffPolicy(10*time.Millisecond, seed)
+	for i := 0; i < 10; i++ {
+		full := 10 * time.Millisecond << uint(i)
+		if full > 500*time.Millisecond {
+			full = 500 * time.Millisecond
+		}
+		if d := p.Backoff(i); d < full/2 || d > full {
+			t.Fatalf("Backoff(%d) = %v outside [%v, %v]", i, d, full/2, full)
+		}
+	}
+}

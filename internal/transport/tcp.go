@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mndmst/internal/obs"
+	"mndmst/internal/retry"
 	"mndmst/internal/wire"
 )
 
@@ -61,6 +62,17 @@ type TCPConfig struct {
 	// bounded end-to-end buffering to reproduce flow-control behaviour
 	// deterministically; production runs should leave the OS autotuning on.
 	SocketBufferBytes int
+	// RetrySeed drives the deterministic jitter on dial/rendezvous
+	// backoff. Jitter is what keeps N workers restarted together from
+	// hammering the coordinator in lockstep; the seed is what lets a test
+	// replay the exact schedule. 0 (the default) derives a per-process
+	// seed from the wall clock — production workers decorrelate for free.
+	RetrySeed int64
+	// Cancel, when non-nil, aborts in-progress dial/rendezvous backoff
+	// waits as soon as it is closed, so a teardown (or a draining daemon)
+	// never sleeps out a pending backoff. Closing it does not affect an
+	// established endpoint.
+	Cancel <-chan struct{}
 	// Metrics, when non-nil, receives the endpoint's transport counters:
 	// per-peer frames/bytes in both directions, send-queue high-water
 	// marks, heartbeats, peer timeouts, and dial retries. Registries are
@@ -94,6 +106,9 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	}
 	if c.SendQueueTimeout <= 0 {
 		c.SendQueueTimeout = c.SendTimeout
+	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = time.Now().UnixNano()
 	}
 	return c
 }
@@ -225,7 +240,8 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	// exactly one pooled connection (dialer = higher rank).
 	deadline := time.Now().Add(cfg.DialTimeout)
 	for i := 0; i < rank; i++ {
-		conn, err := dialRetry(addrs[i], deadline, dialRetryCounter(cfg.Metrics))
+		conn, err := dialRetry(addrs[i], deadline, dialRetryCounter(cfg.Metrics),
+			backoffPolicy(10*time.Millisecond, cfg.RetrySeed+seedOffsetPeerDial+int64(i)), cfg.Cancel)
 		if err != nil {
 			t.Close() //lint:droperr Close never fails; the dial error is the report
 			return nil, fmt.Errorf("transport: rank %d: peer %d: %w", rank, i, err)
@@ -256,6 +272,9 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 		}
 		select {
 		case <-peer.ready:
+		case <-cfg.Cancel:
+			t.Close() //lint:droperr Close never fails; the cancellation is the report
+			return nil, fmt.Errorf("transport: rank %d: awaiting peer %d: %w", rank, i, ErrDialCanceled)
 		case <-time.After(time.Until(deadline)):
 			t.Close() //lint:droperr Close never fails; the timeout is the report
 			return nil, fmt.Errorf("transport: rank %d: peer %d never connected within %v", rank, i, cfg.DialTimeout)
@@ -264,24 +283,71 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	return t, nil
 }
 
+// ErrDialCanceled reports a dial or rendezvous backoff wait aborted by
+// TCPConfig.Cancel: the caller tore the join attempt down before the
+// deadline. It wraps the last network error, so the reason the backoff
+// was pending at all stays diagnosable.
+var ErrDialCanceled = errors.New("transport: dial canceled by caller")
+
+// backoffPolicy is the shared jittered schedule for the dial and
+// rendezvous loops: exponential from base, capped at 500ms, with 50%
+// downward jitter so co-restarted workers spread out instead of
+// re-dialing the coordinator in lockstep. The seed makes the schedule
+// replayable; callers decorrelate related loops with distinct offsets.
+func backoffPolicy(base time.Duration, seed int64) retry.Policy {
+	return retry.Policy{
+		BaseDelay:  base,
+		MaxDelay:   500 * time.Millisecond,
+		Multiplier: 2,
+		Jitter:     0.5,
+		Seed:       seed,
+	}
+}
+
+// sleepBackoff waits out one backoff step, returning ErrDialCanceled the
+// moment cancel closes — teardown must never sit out a pending backoff.
+// A nil cancel channel never fires, preserving plain deadline behaviour.
+func sleepBackoff(d time.Duration, cancel <-chan struct{}) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-cancel:
+		return ErrDialCanceled
+	}
+}
+
+// Seed offsets decorrelating the jitter draws of the per-endpoint retry
+// loops: the rendezvous loop uses RetrySeed itself, the coordinator dial
+// and each peer dial derive distinct streams from it.
+const (
+	seedOffsetCoordinatorDial = 1
+	seedOffsetPeerDial        = 2 // + peer rank
+)
+
 // rendezvousTCP performs the coordinator handshake, retrying transient
-// network failures with exponential backoff inside the DialTimeout budget.
-// The handshake is idempotent on the coordinator side — a worker whose
-// connection died mid-rendezvous re-advertises the same listen address and
-// the coordinator replaces the dead registration — so retrying cannot
-// produce a duplicate rank. Protocol errors (version or frame mismatches)
-// are never retried: they mean a misconfigured cluster, not a flaky link.
+// network failures under the jittered backoff policy inside the
+// DialTimeout budget. The handshake is idempotent on the coordinator side
+// — a worker whose connection died mid-rendezvous re-advertises the same
+// listen address and the coordinator replaces the dead registration — so
+// retrying cannot produce a duplicate rank. Protocol errors (version or
+// frame mismatches) are never retried: they mean a misconfigured cluster,
+// not a flaky link.
 func rendezvousTCP(cfg TCPConfig, advertise string) (rank, p int, addrs []string, err error) {
 	deadline := time.Now().Add(cfg.DialTimeout)
-	backoff := 25 * time.Millisecond
-	for {
+	pol := backoffPolicy(25*time.Millisecond, cfg.RetrySeed)
+	for attempt := 0; ; attempt++ {
 		rank, p, addrs, err = rendezvousOnce(cfg, advertise, deadline)
-		if err == nil || !retryableRendezvousError(err) || time.Now().Add(backoff).After(deadline) {
+		if err == nil || !retryableRendezvousError(err) {
 			return rank, p, addrs, err
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 500*time.Millisecond {
-			backoff = 500 * time.Millisecond
+		d := pol.Backoff(attempt)
+		if time.Now().Add(d).After(deadline) {
+			return rank, p, addrs, err
+		}
+		if serr := sleepBackoff(d, cfg.Cancel); serr != nil {
+			return 0, 0, nil, fmt.Errorf("transport: rendezvous: %w (last attempt: %w)", serr, err)
 		}
 	}
 }
@@ -304,7 +370,8 @@ func retryableRendezvousError(err error) bool {
 
 // rendezvousOnce performs one coordinator handshake attempt.
 func rendezvousOnce(cfg TCPConfig, advertise string, deadline time.Time) (rank, p int, addrs []string, err error) {
-	conn, err := dialRetry(cfg.Coordinator, deadline, dialRetryCounter(cfg.Metrics))
+	conn, err := dialRetry(cfg.Coordinator, deadline, dialRetryCounter(cfg.Metrics),
+		backoffPolicy(10*time.Millisecond, cfg.RetrySeed+seedOffsetCoordinatorDial), cfg.Cancel)
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("transport: coordinator %s: %w", cfg.Coordinator, err)
 	}
@@ -360,23 +427,24 @@ func dialRetryCounter(reg *obs.Registry) *obs.Counter {
 		"failed coordinator/peer dial attempts that were retried with backoff")
 }
 
-// dialRetry dials addr with exponential backoff until the deadline,
-// counting each failed-and-retried attempt on retries (nil-safe).
-func dialRetry(addr string, deadline time.Time, retries *obs.Counter) (net.Conn, error) {
-	backoff := 10 * time.Millisecond
-	for {
+// dialRetry dials addr under pol's jittered backoff schedule until the
+// deadline, counting each failed-and-retried attempt on retries
+// (nil-safe). A close of cancel aborts the current backoff wait with
+// ErrDialCanceled wrapping the last dial error.
+func dialRetry(addr string, deadline time.Time, retries *obs.Counter, pol retry.Policy, cancel <-chan struct{}) (net.Conn, error) {
+	for attempt := 0; ; attempt++ {
 		d := net.Dialer{Deadline: deadline}
 		conn, err := d.Dial("tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		b := pol.Backoff(attempt)
+		if time.Now().Add(b).After(deadline) {
 			return nil, fmt.Errorf("dial %s: %w", addr, err)
 		}
 		retries.Inc()
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 500*time.Millisecond {
-			backoff = 500 * time.Millisecond
+		if serr := sleepBackoff(b, cancel); serr != nil {
+			return nil, fmt.Errorf("dial %s: %w (last attempt: %w)", addr, serr, err)
 		}
 	}
 }

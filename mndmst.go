@@ -256,6 +256,16 @@ type ClusterConfig struct {
 	// with Options.Chaos — injected-fault counts. One registry per
 	// process; nil disables instrumentation at zero cost.
 	Metrics *obs.Registry
+	// RetrySeed seeds the jittered dial/rendezvous backoff schedule so a
+	// failed join replays exactly under the same seed (0 derives one from
+	// the clock). Give each rank a distinct seed — that is what keeps a
+	// thundering herd of workers from retrying in lockstep.
+	RetrySeed int64
+	// Cancel, when non-nil, aborts in-flight dial and rendezvous retry
+	// loops (backoff sleeps included) as soon as it is closed: a draining
+	// process stops re-dialing immediately instead of sleeping out its
+	// backoff. Closing it does not tear down an established transport.
+	Cancel <-chan struct{}
 }
 
 func (c ClusterConfig) tcp() transport.TCPConfig {
@@ -266,6 +276,8 @@ func (c ClusterConfig) tcp() transport.TCPConfig {
 		HeartbeatInterval: c.HeartbeatInterval,
 		PeerTimeout:       c.PeerTimeout,
 		Metrics:           c.Metrics,
+		RetrySeed:         c.RetrySeed,
+		Cancel:            c.Cancel,
 	}
 }
 
